@@ -1,0 +1,192 @@
+// Benchmarks: one per paper table/figure (regenerating a reduced-scale
+// version of each artifact through the same code paths as cmd/talus-exp),
+// plus micro-benchmarks of the operations on Talus's critical paths —
+// hull construction, shadow-partition configuration, the H3 sampler, the
+// cache access path, and UMON observation.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package talus
+
+import (
+	"io"
+	"testing"
+
+	"talus/internal/cache"
+	"talus/internal/core"
+	"talus/internal/curve"
+	"talus/internal/experiments"
+	"talus/internal/hash"
+	"talus/internal/hull"
+	"talus/internal/monitor"
+	"talus/internal/partition"
+	"talus/internal/policy"
+	"talus/internal/workload"
+)
+
+// --- figure/table regeneration benches --------------------------------
+
+// benchExperiment runs one experiment at benchmark (Tiny) scale.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := experiments.Config{Tiny: true, Seed: 42, W: io.Discard}
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig01Libquantum(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig02ShadowConfig(b *testing.B) { benchExperiment(b, "fig2") }
+func BenchmarkFig03Hull(b *testing.B)         { benchExperiment(b, "fig3") }
+func BenchmarkFig05Bypass(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkFig06BypassCurve(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig08Schemes(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig09SRRIP(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10Policies(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11IPC(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12Mixes(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13Fairness(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkTable1Config(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2Gmeans(b *testing.B)      { benchExperiment(b, "table2") }
+
+// --- core operation micro-benches --------------------------------------
+
+// benchCurve builds a jagged 256-point miss curve.
+func benchCurve() *curve.Curve {
+	pts := make([]curve.Point, 256)
+	m := 40.0
+	for i := range pts {
+		if i%16 == 15 {
+			m *= 0.6 // periodic cliffs
+		} else {
+			m *= 0.998
+		}
+		pts[i] = curve.Point{Size: float64((i + 1) * 1024), MPKI: m}
+	}
+	return curve.MustNew(pts)
+}
+
+// BenchmarkConvexHull measures the pre-processing step's cost per curve
+// (the paper's "linear time in the size of the miss curve").
+func BenchmarkConvexHull(b *testing.B) {
+	c := benchCurve()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hull.Lower(c)
+	}
+}
+
+// BenchmarkConfigure measures the per-partition post-processing step
+// (hull + anchors + ρ), which runs once per partition per 10 ms interval.
+func BenchmarkConfigure(b *testing.B) {
+	c := benchCurve()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Configure(c, 128*1024, core.DefaultMargin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkH3Hash measures the sampler's hash (one per cache access in
+// hardware; on the simulator's critical path too).
+func BenchmarkH3Hash(b *testing.B) {
+	h := hash.NewH3(1, 64)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= h.Hash(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	_ = sink
+}
+
+// BenchmarkSampler measures the full α/β routing decision.
+func BenchmarkSampler(b *testing.B) {
+	s := hash.NewSampler(1)
+	s.SetRate(1.0 / 3)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if s.ToAlpha(uint64(i)) {
+			n++
+		}
+	}
+	_ = n
+}
+
+// BenchmarkCacheAccessLRU measures the simulator's hot path: one access
+// to a 1 MB 16-way LRU cache with a ~2× working set.
+func BenchmarkCacheAccessLRU(b *testing.B) {
+	c, err := cache.NewSetAssoc(16384, 16, partition.NewNone(1), policy.LRUFactory, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%32768), 0)
+	}
+}
+
+// BenchmarkCacheAccessVantageTalus measures the partitioned datapath:
+// sampler + Vantage victim selection with 2 shadow partitions.
+func BenchmarkCacheAccessVantageTalus(b *testing.B) {
+	inner, err := cache.NewSetAssoc(16384, 16, partition.NewVantage(2), policy.LRUFactory, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc, err := core.NewShadowedCache(inner, 1, core.DefaultMargin, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := curve.MustNew([]curve.Point{
+		{Size: 0, MPKI: 30}, {Size: 16000, MPKI: 30}, {Size: 32768, MPKI: 1}, {Size: 65536, MPKI: 1},
+	})
+	if err := tc.Reconfigure([]int64{inner.PartitionableCapacity()}, []*curve.Curve{mc}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Access(uint64(i%32768), 0)
+	}
+}
+
+// BenchmarkUMONObserve measures monitor overhead per access (most
+// accesses fail the sampling filter, as in hardware).
+func BenchmarkUMONObserve(b *testing.B) {
+	m, err := monitor.NewLRUMonitor(131072, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(uint64(i % 100000))
+	}
+}
+
+// BenchmarkWorkloadNext measures clone stream generation (mcf: zipf +
+// mixture, the most expensive generator).
+func BenchmarkWorkloadNext(b *testing.B) {
+	spec, _ := workload.Lookup("mcf")
+	app := workload.NewApp(spec, 1)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink ^= app.Next()
+	}
+	_ = sink
+}
+
+// BenchmarkMIN measures offline Belady simulation (used by the
+// Corollary 7 validation).
+func BenchmarkMIN(b *testing.B) {
+	rng := hash.NewSplitMix64(1)
+	trace := make([]uint64, 1<<16)
+	for i := range trace {
+		trace[i] = rng.Uint64n(4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.SimulateMIN(trace, 1024)
+	}
+}

@@ -1,0 +1,59 @@
+// Command talus-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	talus-exp -exp fig1              # one experiment
+//	talus-exp -exp all -quick        # everything, reduced scale
+//	talus-exp -exp fig12 -full -out results/
+//	talus-exp -list                  # show available experiments
+//
+// Each experiment prints the rows/series of the corresponding paper
+// artifact; -out additionally writes CSVs suitable for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"talus/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (fig1..fig13, table1, table2, or all)")
+		quick = flag.Bool("quick", false, "reduced scale (~10x faster)")
+		full  = flag.Bool("full", false, "paper-scale sweeps (slow)")
+		out   = flag.String("out", "", "directory for CSV output (optional)")
+		seed  = flag.Uint64("seed", 42, "random seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, name := range experiments.Names() {
+			fmt.Printf("  %-8s %s\n", name, experiments.About(name))
+		}
+		fmt.Println("  all      run everything in order")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Quick:  *quick,
+		Full:   *full,
+		OutDir: *out,
+		Seed:   *seed,
+		W:      os.Stdout,
+	}
+	start := time.Now()
+	if err := experiments.Run(*exp, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "talus-exp: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[%s completed in %v]\n", *exp, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,124 @@
+// Command talus-sim runs a multi-programmed CMP simulation described by a
+// JSON spec and reports per-app IPC, MPKI, and speedups over the
+// unpartitioned-LRU baseline.
+//
+// Usage:
+//
+//	talus-sim -spec mix.json
+//	talus-sim -apps mcf,lbm,omnetpp,xalancbmk -mode talus-hill -mb 4
+//
+// Spec file format:
+//
+//	{
+//	  "apps": ["mcf", "lbm", "omnetpp", "xalancbmk"],
+//	  "capacity_mb": 4,
+//	  "mode": "talus-hill",
+//	  "work_instr": 52428800,
+//	  "epoch_cycles": 1048576,
+//	  "seed": 42
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"talus/internal/curve"
+	"talus/internal/sim"
+	"talus/internal/stats"
+	"talus/internal/workload"
+)
+
+// specFile mirrors the JSON schema.
+type specFile struct {
+	Apps        []string `json:"apps"`
+	CapacityMB  float64  `json:"capacity_mb"`
+	Mode        string   `json:"mode"`
+	WorkInstr   int64    `json:"work_instr"`
+	EpochCycles int64    `json:"epoch_cycles"`
+	Seed        uint64   `json:"seed"`
+}
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "JSON simulation spec")
+		appsFlag = flag.String("apps", "", "comma-separated app list (alternative to -spec)")
+		mode     = flag.String("mode", "talus-hill", "management mode (lru, tadrrip, hill-lru, lookahead-lru, fair-lru, talus-hill, talus-fair)")
+		mb       = flag.Float64("mb", 8, "LLC capacity in MB")
+		work     = flag.Int64("work", 30<<20, "fixed work per app (instructions)")
+		seed     = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var spec specFile
+	switch {
+	case *specPath != "":
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *specPath, err))
+		}
+	case *appsFlag != "":
+		spec = specFile{
+			Apps:       strings.Split(*appsFlag, ","),
+			CapacityMB: *mb,
+			Mode:       *mode,
+			WorkInstr:  *work,
+			Seed:       *seed,
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	apps := make([]workload.Spec, len(spec.Apps))
+	for i, name := range spec.Apps {
+		s, ok := workload.Lookup(strings.TrimSpace(name))
+		if !ok {
+			fatal(fmt.Errorf("unknown app %q", name))
+		}
+		apps[i] = s
+	}
+	mixCfg := sim.MixConfig{
+		Apps:          apps,
+		CapacityLines: int64(curve.MBToLines(spec.CapacityMB)),
+		Mode:          sim.Mode(spec.Mode),
+		WorkInstr:     spec.WorkInstr,
+		EpochCycles:   spec.EpochCycles,
+		Seed:          spec.Seed,
+	}
+
+	baseCfg := mixCfg
+	baseCfg.Mode = sim.ModeLRU
+	base, err := sim.RunMix(baseCfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.RunMix(mixCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tIPC\tMPKI\tspeedup-vs-LRU")
+	for i := range apps {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.3f\t%.3f\n",
+			res.Apps[i], res.IPC[i], res.MPKI[i], res.IPC[i]/base.IPC[i])
+	}
+	tw.Flush()
+	fmt.Printf("\nweighted speedup: %.4f\nharmonic speedup: %.4f\nepochs: %d\n",
+		stats.WeightedSpeedup(res.IPC, base.IPC),
+		stats.HarmonicSpeedup(res.IPC, base.IPC),
+		res.Epochs)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "talus-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package talus_test
+
+import (
+	"fmt"
+
+	"talus"
+)
+
+// ExampleConfigure walks the paper's worked example (§III): a 4 MB cache
+// on a miss curve with a plateau from 2 MB to 5 MB.
+func ExampleConfigure() {
+	mb := talus.MBToLines
+	m := talus.MustCurve([]talus.Point{
+		{Size: 0, MPKI: 24},
+		{Size: mb(2), MPKI: 12},
+		{Size: mb(4.999), MPKI: 12},
+		{Size: mb(5), MPKI: 3},
+		{Size: mb(10), MPKI: 3},
+	})
+	cfg, _ := talus.Configure(m, mb(4), 0)
+	fmt.Printf("alpha=%gMB beta=%gMB rho=%.3f\n",
+		talus.LinesToMB(cfg.Alpha), talus.LinesToMB(cfg.Beta), cfg.RhoIdeal)
+	fmt.Printf("s1=%.3fMB s2=%.3fMB predicted=%.1f MPKI\n",
+		talus.LinesToMB(cfg.S1), talus.LinesToMB(cfg.S2), cfg.PredictedMPKI)
+	// Output:
+	// alpha=2MB beta=5MB rho=0.333
+	// s1=0.667MB s2=3.333MB predicted=6.0 MPKI
+}
+
+// ExampleConvexHull shows the pre-processing step: cliffs vanish from the
+// curve handed to the partitioning algorithm.
+func ExampleConvexHull() {
+	m := talus.MustCurve([]talus.Point{
+		{Size: 0, MPKI: 20},
+		{Size: 100, MPKI: 19},
+		{Size: 200, MPKI: 19}, // plateau
+		{Size: 300, MPKI: 2},  // cliff
+		{Size: 400, MPKI: 2},
+	})
+	h := talus.ConvexHull(m)
+	fmt.Println("convex:", h.IsConvex(1e-9))
+	fmt.Println("at 250 lines:", h.Eval(250), "instead of", m.Eval(250))
+	// Output:
+	// convex: true
+	// at 250 lines: 5 instead of 10.5
+}
+
+// ExampleOptimalBypass reproduces Fig. 5: bypassing helps on the cliff
+// but cannot match the hull (Corollary 8).
+func ExampleOptimalBypass() {
+	mb := talus.MBToLines
+	m := talus.MustCurve([]talus.Point{
+		{Size: 0, MPKI: 24},
+		{Size: mb(2), MPKI: 12},
+		{Size: mb(4.999), MPKI: 12},
+		{Size: mb(5), MPKI: 3},
+		{Size: mb(10), MPKI: 3},
+	})
+	bc, _ := talus.OptimalBypass(m, mb(4))
+	fmt.Printf("admit %.0f%% of accesses, cache acts as %gMB\n",
+		bc.Rho*100, talus.LinesToMB(bc.Emulated))
+	fmt.Printf("bypassing: %.1f MPKI, Talus: %.1f MPKI\n",
+		bc.MPKI, talus.InterpolatedMPKI(m, mb(4)))
+	// Output:
+	// admit 80% of accesses, cache acts as 5MB
+	// bypassing: 7.2 MPKI, Talus: 6.0 MPKI
+}
+
+// ExampleHillClimb shows why convexity matters: on hulls, trivial hill
+// climbing matches the exact DP optimum.
+func ExampleHillClimb() {
+	cliff := talus.MustCurve([]talus.Point{
+		{Size: 0, MPKI: 20}, {Size: 490, MPKI: 20}, {Size: 500, MPKI: 1}, {Size: 800, MPKI: 1},
+	})
+	convex := talus.MustCurve([]talus.Point{
+		{Size: 0, MPKI: 10}, {Size: 200, MPKI: 4}, {Size: 800, MPKI: 2},
+	})
+	raw := []*talus.MissCurve{cliff, convex}
+
+	onRaw, _ := talus.HillClimb(raw, 800, 10)
+	onHulls, _ := talus.HillClimb(talus.Convexify(raw), 800, 10)
+	fmt.Println("hill on raw curves: ", onRaw)
+	fmt.Println("hill on Talus hulls:", onHulls)
+	// On the raw curves, hill climbing sees zero marginal gain anywhere
+	// on the cliff app's plateau and starves it; on the hulls it walks
+	// straight to the cliff's foot.
+	// Output:
+	// hill on raw curves:  [0 800]
+	// hill on Talus hulls: [500 300]
+}

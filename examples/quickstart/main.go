@@ -1,0 +1,72 @@
+// Quickstart: the paper's worked example (§III, Figs. 2–3) in a dozen
+// lines of API calls.
+//
+// An application accesses 2 MB of data at random plus 3 MB sequentially,
+// at 24 LLC accesses per kilo-instruction. Under LRU its miss curve has a
+// plateau at 12 MPKI from 2 MB to 5 MB, then a cliff. Given only that
+// miss curve, Talus computes a shadow-partition configuration for a 4 MB
+// cache that lands on the curve's convex hull: 6 MPKI instead of 12.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"talus"
+)
+
+func main() {
+	mb := talus.MBToLines
+
+	// The miss curve — normally measured by a UMON (see the libquantum
+	// example); here entered directly from Fig. 3.
+	missCurve := talus.MustCurve([]talus.Point{
+		{Size: 0, MPKI: 24},
+		{Size: mb(1), MPKI: 18},
+		{Size: mb(2), MPKI: 12},     // the random working set fits
+		{Size: mb(4.999), MPKI: 12}, // ... plateau ...
+		{Size: mb(5), MPKI: 3},      // the scan fits: cliff
+		{Size: mb(10), MPKI: 3},
+	})
+
+	// Step 1 — pre-processing: the convex hull is what Talus promises.
+	hull := talus.ConvexHull(missCurve)
+	fmt.Println("convex hull:", hull)
+
+	// Step 2 — configure a 4 MB cache (margin 0 reproduces the paper's
+	// exact numbers; use talus.DefaultMargin in production).
+	cfg, err := talus.Configure(missCurve, mb(4), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anchors:    α = %g MB, β = %g MB\n",
+		talus.LinesToMB(cfg.Alpha), talus.LinesToMB(cfg.Beta))
+	fmt.Printf("sampling:   ρ = %.4f of accesses into the α partition\n", cfg.RhoIdeal)
+	fmt.Printf("shadow sizes: s1 = %.3f MB, s2 = %.3f MB\n",
+		talus.LinesToMB(cfg.S1), talus.LinesToMB(cfg.S2))
+	fmt.Printf("miss rate:  LRU %.1f MPKI → Talus %.1f MPKI\n",
+		missCurve.Eval(mb(4)), cfg.PredictedMPKI)
+
+	// Step 3 — the same numbers, realized by an actual simulated cache:
+	// a 4 MB set-partitioned LLC with two shadow partitions, fed a
+	// matching synthetic workload (see examples/libquantum for the
+	// full monitor-driven loop).
+	inner, err := talus.BuildCache("set", int64(mb(4)), 16, 2, "LRU", 1, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shadowed, err := talus.NewShadowedCache(inner, 1, 0, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := shadowed.Reconfigure([]int64{inner.PartitionableCapacity()},
+		[]*talus.MissCurve{missCurve}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprogrammed shadow partitions (lines): %v\n", shadowed.ShadowSizes())
+	fmt.Println("applied config:", shadowed.Config(0).Degenerate == false)
+}

@@ -1,0 +1,80 @@
+// Package bypass implements optimal cache bypassing, the baseline of the
+// paper's §V-C: admit a fraction ρ of accesses to the full cache and send
+// the rest straight to memory. By Theorem 4 this behaves like a partition
+// of size s sampled at rate ρ (emulating a cache of s/ρ) plus a
+// "partition of size zero" for the bypassed remainder:
+//
+//	m_bypass(s) = ρ·m(s/ρ) + (1−ρ)·m(0)                      (Eq. 6)
+//
+// which is a straight line from (0, m(0)) to (s0, m(s0)) with s0 = s/ρ.
+// Corollary 8: no choice of ρ can beat the miss curve's convex hull, so
+// Talus ≥ optimal bypassing always, with equality only where the hull's
+// supporting segment passes through (0, m(0)).
+package bypass
+
+import (
+	"errors"
+	"math"
+
+	"talus/internal/curve"
+)
+
+// ErrBadInput reports an unusable curve or size.
+var ErrBadInput = errors.New("bypass: bad input")
+
+// Config describes the optimal bypassing configuration at one size.
+type Config struct {
+	TargetSize float64 // s: the physical cache size
+	Rho        float64 // admitted fraction of accesses
+	Emulated   float64 // s/ρ: the size the cache behaves as for admitted lines
+	MPKI       float64 // resulting miss rate (Eq. 6)
+	M0         float64 // m(0): the all-miss rate paid by bypassed accesses
+}
+
+// Optimal finds the bypass fraction minimizing Eq. 6 at size s. Because
+// m_bypass is linear in the choice of anchor point (s0, m(s0)), the
+// optimum lies at one of the curve's points with size ≥ s (or at no
+// bypassing at all), so a single scan suffices.
+func Optimal(m *curve.Curve, s float64) (Config, error) {
+	if m == nil || m.NumPoints() == 0 {
+		return Config{}, ErrBadInput
+	}
+	if !(s > 0) || math.IsNaN(s) || math.IsInf(s, 0) {
+		return Config{}, ErrBadInput
+	}
+	m0 := m.Eval(0)
+	best := Config{TargetSize: s, Rho: 1, Emulated: s, MPKI: m.Eval(s), M0: m0}
+	for i := 0; i < m.NumPoints(); i++ {
+		p := m.PointAt(i)
+		if p.Size <= s {
+			continue
+		}
+		rho := s / p.Size
+		mpki := rho*p.MPKI + (1-rho)*m0
+		if mpki < best.MPKI {
+			best = Config{TargetSize: s, Rho: rho, Emulated: p.Size, MPKI: mpki, M0: m0}
+		}
+	}
+	return best, nil
+}
+
+// Curve evaluates optimal bypassing at each of the given sizes, producing
+// the dashed "Bypassing" curve of Fig. 6.
+func Curve(m *curve.Curve, sizes []float64) (*curve.Curve, error) {
+	if m == nil || m.NumPoints() == 0 || len(sizes) == 0 {
+		return nil, ErrBadInput
+	}
+	pts := make([]curve.Point, 0, len(sizes))
+	for _, s := range sizes {
+		if s <= 0 {
+			pts = append(pts, curve.Point{Size: 0, MPKI: m.Eval(0)})
+			continue
+		}
+		cfg, err := Optimal(m, s)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, curve.Point{Size: s, MPKI: cfg.MPKI})
+	}
+	return curve.New(pts)
+}

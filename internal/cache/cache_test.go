@@ -1,0 +1,294 @@
+package cache
+
+import (
+	"testing"
+
+	"talus/internal/partition"
+	"talus/internal/policy"
+)
+
+func newLRUCache(t *testing.T, lines int64, assoc int, scheme partition.Scheme) *SetAssoc {
+	t.Helper()
+	c, err := NewSetAssoc(lines, assoc, scheme, policy.LRUFactory, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := newLRUCache(t, 64, 4, partition.NewNone(1))
+	if c.Access(100, 0) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(100, 0) {
+		t.Fatal("second access must hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGeometryRounding(t *testing.T) {
+	c := newLRUCache(t, 100, 8, partition.NewNone(1))
+	if c.Capacity() != 96 { // 100/8 = 12 sets × 8 ways
+		t.Fatalf("capacity = %d, want 96", c.Capacity())
+	}
+	if c.Sets() != 12 || c.Assoc() != 8 {
+		t.Fatalf("geometry %d×%d", c.Sets(), c.Assoc())
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewSetAssoc(0, 4, partition.NewNone(1), policy.LRUFactory, 0); err == nil {
+		t.Fatal("zero capacity should fail")
+	}
+	if _, err := NewSetAssoc(64, 0, partition.NewNone(1), policy.LRUFactory, 0); err == nil {
+		t.Fatal("zero assoc should fail")
+	}
+	if _, err := NewSetAssoc(64, 4, nil, policy.LRUFactory, 0); err == nil {
+		t.Fatal("nil scheme should fail")
+	}
+	if _, err := NewSetAssoc(64, 4, partition.NewNone(1), nil, 0); err == nil {
+		t.Fatal("nil factory should fail")
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// 1024 lines, working set 512: after warmup everything hits.
+	c := newLRUCache(t, 1024, 16, partition.NewNone(1))
+	for round := 0; round < 3; round++ {
+		for a := uint64(0); a < 512; a++ {
+			c.Access(a, 0)
+		}
+	}
+	c.ResetStats()
+	for a := uint64(0); a < 512; a++ {
+		if !c.Access(a, 0) {
+			t.Fatalf("addr %d should hit once resident", a)
+		}
+	}
+}
+
+func TestLRUScanThrashes(t *testing.T) {
+	// Cyclic scan of 2× capacity under LRU: ~0 hits (the cliff mechanism).
+	c := newLRUCache(t, 1024, 16, partition.NewNone(1))
+	const footprint = 2048
+	for i := 0; i < footprint*4; i++ {
+		c.Access(uint64(i%footprint), 0)
+	}
+	c.ResetStats()
+	for i := 0; i < footprint*2; i++ {
+		c.Access(uint64(i%footprint), 0)
+	}
+	if hr := c.Stats().HitRate(); hr > 0.02 {
+		t.Fatalf("LRU hit rate on oversized scan = %g, want ~0", hr)
+	}
+}
+
+func TestDIPResistsThrashing(t *testing.T) {
+	// Same oversized scan: DIP's BIP constituent keeps part of the
+	// working set resident, so it must clearly beat LRU's ~0%.
+	c, err := NewSetAssoc(1024, 16, partition.NewNone(1), policy.DIPFactory, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const footprint = 2048
+	for i := 0; i < footprint*6; i++ {
+		c.Access(uint64(i%footprint), 0)
+	}
+	c.ResetStats()
+	for i := 0; i < footprint*4; i++ {
+		c.Access(uint64(i%footprint), 0)
+	}
+	if hr := c.Stats().HitRate(); hr < 0.15 {
+		t.Fatalf("DIP hit rate on oversized scan = %g, want > 0.15", hr)
+	}
+}
+
+func TestPDPResistsThrashing(t *testing.T) {
+	c, err := NewSetAssoc(1024, 16, partition.NewNone(1), policy.PDPFactory, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const footprint = 2048
+	// PDP needs enough accesses for its reuse-distance sampler to settle.
+	for i := 0; i < 300000; i++ {
+		c.Access(uint64(i%footprint), 0)
+	}
+	c.ResetStats()
+	for i := 0; i < footprint*8; i++ {
+		c.Access(uint64(i%footprint), 0)
+	}
+	if hr := c.Stats().HitRate(); hr < 0.15 {
+		t.Fatalf("PDP hit rate on oversized scan = %g, want > 0.15", hr)
+	}
+}
+
+func TestSRRIPHandlesMixedReuse(t *testing.T) {
+	// Half the accesses hammer a small hot set, half scan a huge array.
+	// SRRIP should protect the hot lines far better than LRU does.
+	run := func(factory policy.Factory) float64 {
+		c, err := NewSetAssoc(512, 16, partition.NewNone(1), factory, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := uint64(64)
+		scan := uint64(0)
+		hotHits, hotAcc := 0, 0
+		for i := 0; i < 200000; i++ {
+			var hit bool
+			if i%2 == 0 {
+				hit = c.Access(uint64(i/2)%hot+1<<30, 0)
+				hotAcc++
+				if hit && i > 100000 {
+					hotHits++
+				}
+			} else {
+				c.Access(scan, 0)
+				scan++
+			}
+		}
+		return float64(hotHits) / float64(hotAcc/2)
+	}
+	srrip := run(policy.SRRIPFactory)
+	lru := run(policy.LRUFactory)
+	if srrip < lru {
+		t.Fatalf("SRRIP hot hit rate %g < LRU %g; scan resistance missing", srrip, lru)
+	}
+}
+
+func TestPerPartitionStats(t *testing.T) {
+	c := newLRUCache(t, 256, 4, partition.NewVantage(2))
+	c.Access(1, 0)
+	c.Access(1, 0)
+	c.Access(2, 1)
+	if c.PartStats(0).Accesses != 2 || c.PartStats(0).Hits != 1 {
+		t.Fatalf("part 0 stats %+v", c.PartStats(0))
+	}
+	if c.PartStats(1).Accesses != 1 || c.PartStats(1).Misses != 1 {
+		t.Fatalf("part 1 stats %+v", c.PartStats(1))
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := newLRUCache(t, 64, 4, partition.NewNone(1))
+	c.Access(5, 0)
+	c.Flush()
+	if c.Access(5, 0) {
+		t.Fatal("flushed line must miss")
+	}
+	if c.Stats().Accesses != 1 {
+		t.Fatal("flush must reset stats")
+	}
+}
+
+func TestString(t *testing.T) {
+	c := newLRUCache(t, 64, 4, partition.NewNone(1))
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestIdealExactCapacity(t *testing.T) {
+	c, err := NewIdeal(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill 128 distinct lines, then re-access: all hit (fully assoc).
+	for a := uint64(0); a < 128; a++ {
+		c.Access(a, 0)
+	}
+	c.ResetStats()
+	for a := uint64(0); a < 128; a++ {
+		if !c.Access(a, 0) {
+			t.Fatalf("line %d should be resident", a)
+		}
+	}
+	// One more line evicts exactly the LRU line (0).
+	c.Access(999, 0)
+	if c.Access(1, 0) != true {
+		t.Fatal("line 1 should survive")
+	}
+	if c.Access(0, 0) {
+		t.Fatal("line 0 (LRU) should have been evicted")
+	}
+}
+
+func TestIdealPartitionIsolation(t *testing.T) {
+	c, err := NewIdeal(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPartitionSizes([]int64{10, 90}); err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0 only ever holds 10 lines, regardless of partition 1.
+	for a := uint64(0); a < 20; a++ {
+		c.Access(a, 0)
+	}
+	if got := c.PartitionOccupancy(0); got != 10 {
+		t.Fatalf("partition 0 holds %d lines, want 10", got)
+	}
+	for a := uint64(1000); a < 1090; a++ {
+		c.Access(a, 1)
+	}
+	if got := c.PartitionOccupancy(1); got != 90 {
+		t.Fatalf("partition 1 holds %d lines, want 90", got)
+	}
+}
+
+func TestIdealResizeEvicts(t *testing.T) {
+	c, err := NewIdeal(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 100; a++ {
+		c.Access(a, 0)
+	}
+	if err := c.SetPartitionSizes([]int64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PartitionOccupancy(0); got != 10 {
+		t.Fatalf("after shrink, occupancy = %d, want 10", got)
+	}
+	// The 10 most recent survive.
+	if !c.Access(99, 0) || c.Access(0, 0) {
+		t.Fatal("shrink must evict LRU lines first")
+	}
+}
+
+func TestIdealOverCommitRejected(t *testing.T) {
+	c, err := NewIdeal(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPartitionSizes([]int64{80, 30}); err == nil {
+		t.Fatal("overcommit must be rejected")
+	}
+	if err := c.SetPartitionSizes([]int64{80}); err == nil {
+		t.Fatal("wrong count must be rejected")
+	}
+	if err := c.SetPartitionSizes([]int64{-1, 10}); err == nil {
+		t.Fatal("negative size must be rejected")
+	}
+}
+
+func TestIdealZeroSizePartitionBypasses(t *testing.T) {
+	c, err := NewIdeal(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPartitionSizes([]int64{0, 100}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if c.Access(42, 0) {
+			t.Fatal("zero-size partition must never hit")
+		}
+	}
+	if c.PartitionOccupancy(0) != 0 {
+		t.Fatal("zero-size partition must stay empty")
+	}
+}

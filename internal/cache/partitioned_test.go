@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"testing"
+
+	"talus/internal/partition"
+	"talus/internal/policy"
+)
+
+// TestWayRepartitioningMigratesCapacity resizes way partitions at runtime
+// and checks that the displaced partition's lines are gradually reclaimed
+// by the grower (hardware way repartitioning semantics: lookups stay
+// global, victim ranges move).
+func TestWayRepartitioningMigratesCapacity(t *testing.T) {
+	scheme := partition.NewWay(2)
+	c, err := NewSetAssoc(1024, 16, scheme, policy.LRUFactory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start even; fill both partitions with distinct working sets.
+	if err := c.SetPartitionSizes([]int64{512, 512}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 512; i++ {
+			c.Access(uint64(i), 0)
+			c.Access(uint64(10000+i), 1)
+		}
+	}
+	occ0 := scheme.Occupancy(0)
+	if occ0 < 400 {
+		t.Fatalf("partition 0 occupancy = %d before resize", occ0)
+	}
+	// Shrink partition 0 to 1/4: partition 1's fills must reclaim the
+	// ways partition 0 used to own.
+	if err := c.SetPartitionSizes([]int64{256, 768}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		for i := 0; i < 768; i++ {
+			c.Access(uint64(10000+i), 1)
+		}
+	}
+	if got := scheme.Occupancy(1); got < 700 {
+		t.Fatalf("partition 1 occupancy = %d after growing to 768", got)
+	}
+	if got := scheme.Occupancy(0); got > 300 {
+		t.Fatalf("partition 0 occupancy = %d after shrinking to 256", got)
+	}
+}
+
+// TestVantageConvergesToTargets checks fine-grained size enforcement:
+// two equal access streams with unequal targets must converge to the
+// programmed occupancies.
+func TestVantageConvergesToTargets(t *testing.T) {
+	scheme := partition.NewVantage(2)
+	c, err := NewSetAssoc(2048, 16, scheme, policy.LRUFactory, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPartitionSizes([]int64{1436, 400}); err != nil {
+		t.Fatal(err)
+	}
+	// Both partitions stream over working sets bigger than their shares.
+	for i := 0; i < 200000; i++ {
+		c.Access(uint64(i%3000), 0)
+		c.Access(uint64(100000+i%3000), 1)
+	}
+	occ0, occ1 := scheme.Occupancy(0), scheme.Occupancy(1)
+	if occ0 < 1200 || occ0 > 1700 {
+		t.Errorf("partition 0 occupancy %d far from target 1436", occ0)
+	}
+	if occ1 < 300 || occ1 > 650 {
+		t.Errorf("partition 1 occupancy %d far from target 400", occ1)
+	}
+}
+
+// TestSetPartitionIsolation: with set partitioning, one partition's
+// thrashing cannot evict the other's lines (full physical isolation).
+func TestSetPartitionIsolation(t *testing.T) {
+	scheme := partition.NewSet(2)
+	c, err := NewSetAssoc(1024, 4, scheme, policy.LRUFactory, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPartitionSizes([]int64{512, 512}); err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0: small working set, becomes resident.
+	for r := 0; r < 10; r++ {
+		for i := 0; i < 128; i++ {
+			c.Access(uint64(i), 0)
+		}
+	}
+	// Partition 1: thrash hard.
+	for i := 0; i < 100000; i++ {
+		c.Access(uint64(50000+i), 1)
+	}
+	// Partition 0 must still hit.
+	c.ResetStats()
+	for i := 0; i < 128; i++ {
+		c.Access(uint64(i), 0)
+	}
+	if hr := c.PartStats(0).HitRate(); hr < 0.95 {
+		t.Fatalf("partition 0 hit rate %g after partition 1 thrashed; set isolation broken", hr)
+	}
+}
+
+// TestZeroTargetVantageBypasses: a zero-sized Vantage partition must
+// never allocate (Talus's α = 0 bypass path) yet still look up.
+func TestZeroTargetVantageBypasses(t *testing.T) {
+	scheme := partition.NewVantage(2)
+	c, err := NewSetAssoc(512, 8, scheme, policy.LRUFactory, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetPartitionSizes([]int64{0, 460}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		c.Access(uint64(i%100), 0)
+	}
+	if occ := scheme.Occupancy(0); occ != 0 {
+		t.Fatalf("zero-target partition holds %d lines", occ)
+	}
+	st := c.PartStats(0)
+	if st.Hits != 0 || st.Bypasses != st.Misses {
+		t.Fatalf("zero-target partition stats: %+v", st)
+	}
+	// But it can still hit lines another partition cached (global
+	// lookup): partition 1 caches an address, partition 0 touches it.
+	c.Access(999999, 1)
+	if !c.Access(999999, 0) {
+		t.Fatal("cross-partition lookup must hit")
+	}
+}
+
+// TestStatsAccounting cross-checks Stats arithmetic.
+func TestStatsAccounting(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("idle hit rate should be 0")
+	}
+	s = Stats{Accesses: 10, Hits: 4, Misses: 6}
+	if s.HitRate() != 0.4 {
+		t.Fatalf("hit rate = %g", s.HitRate())
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"talus/internal/curve"
+)
+
+func mb(x float64) float64 { return curve.MBToLines(x) }
+
+// fig3Curve is the paper's worked example (Fig. 3 / §III): random accesses
+// over 2 MB plus a 3 MB sequential scan at 24 APKI. 12 MPKI at 2 MB,
+// plateau to 5 MB, then 3 MPKI.
+func fig3Curve() *curve.Curve {
+	return curve.MustNew([]curve.Point{
+		{Size: 0, MPKI: 24},
+		{Size: mb(2), MPKI: 12},
+		{Size: mb(4.999), MPKI: 12},
+		{Size: mb(5), MPKI: 3},
+		{Size: mb(10), MPKI: 3},
+	})
+}
+
+// TestConfigureFig3 checks every number in the paper's worked example
+// (§III and §IV-C): at s = 4 MB, α = 2 MB, β = 5 MB, ρ = 1/3,
+// s1 = 2/3 MB, s2 = 10/3 MB, and 6 MPKI.
+func TestConfigureFig3(t *testing.T) {
+	cfg, err := Configure(fig3Curve(), mb(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Degenerate {
+		t.Fatal("4MB lies between hull points; must not be degenerate")
+	}
+	approx := func(got, want, tol float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %g, want %g", what, got, want)
+		}
+	}
+	approx(cfg.Alpha, mb(2), 1e-9, "alpha")
+	approx(cfg.Beta, mb(5), 1e-9, "beta")
+	approx(cfg.RhoIdeal, 1.0/3, 1e-12, "rho")
+	approx(cfg.S1, mb(2.0/3), 1e-6, "s1")
+	approx(cfg.S2, mb(10.0/3), 1e-6, "s2")
+	approx(cfg.PredictedMPKI, 6, 1e-9, "predicted MPKI")
+	approx(cfg.MAlpha, 12, 1e-9, "m(alpha)")
+	approx(cfg.MBeta, 3, 1e-9, "m(beta)")
+	// Shadow partition bookkeeping: s1 + s2 = s, s1/ρ = α, s2/(1−ρ) = β.
+	approx(cfg.S1+cfg.S2, mb(4), 1e-6, "s1+s2")
+	approx(cfg.S1/cfg.RhoIdeal, cfg.Alpha, 1e-6, "s1/rho")
+	approx(cfg.S2/(1-cfg.RhoIdeal), cfg.Beta, 1e-6, "s2/(1-rho)")
+}
+
+func TestConfigureMargin(t *testing.T) {
+	cfg, err := Configure(fig3Curve(), mb(4), DefaultMargin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1.0 / 3) * 1.05
+	if math.Abs(cfg.Rho-want) > 1e-12 {
+		t.Fatalf("applied rho = %g, want %g", cfg.Rho, want)
+	}
+	if cfg.RhoIdeal != 1.0/3 {
+		t.Fatalf("ideal rho changed by margin: %g", cfg.RhoIdeal)
+	}
+	// The margin shifts emulated sizes: α down, β up.
+	ea, eb := cfg.EmulatedSizes()
+	if !(ea < cfg.Alpha) {
+		t.Errorf("emulated alpha %g should shrink below %g", ea, cfg.Alpha)
+	}
+	if !(eb > cfg.Beta) {
+		t.Errorf("emulated beta %g should grow above %g", eb, cfg.Beta)
+	}
+}
+
+func TestConfigureMarginClamped(t *testing.T) {
+	// ρ close to 1 (s just above α): margin must clamp at 1.
+	cfg, err := Configure(fig3Curve(), mb(2.01), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rho > 1 {
+		t.Fatalf("rho %g exceeds 1", cfg.Rho)
+	}
+}
+
+func TestConfigureDegenerateCases(t *testing.T) {
+	c := fig3Curve()
+	for _, s := range []float64{mb(2), mb(5), mb(10), mb(40)} {
+		cfg, err := Configure(c, s, DefaultMargin)
+		if err != nil {
+			t.Fatalf("Configure(%g): %v", s, err)
+		}
+		if !cfg.Degenerate {
+			t.Errorf("size %g MB should be degenerate (on hull vertex or beyond)", curve.LinesToMB(s))
+		}
+		if cfg.Rho != 1 || cfg.S1 != s || cfg.S2 != 0 {
+			t.Errorf("degenerate config should be single partition: %+v", cfg)
+		}
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	if _, err := Configure(nil, 100, 0); err == nil {
+		t.Fatal("nil curve should error")
+	}
+	c := fig3Curve()
+	for _, s := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		if _, err := Configure(c, s, 0); err == nil {
+			t.Errorf("size %g should error", s)
+		}
+	}
+}
+
+func TestConvexifyProducesHulls(t *testing.T) {
+	curves := []*curve.Curve{fig3Curve(), nil}
+	out := Convexify(curves)
+	if len(out) != 2 {
+		t.Fatal("Convexify must preserve length")
+	}
+	if !out[0].IsConvex(1e-9) {
+		t.Fatal("output not convex")
+	}
+	if out[1] != nil {
+		t.Fatal("nil curve should pass through")
+	}
+	if got := out[0].Eval(mb(4)); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("hull(4MB) = %g, want 6", got)
+	}
+}
+
+func TestInterpolatedMPKI(t *testing.T) {
+	if got := InterpolatedMPKI(fig3Curve(), mb(4)); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("InterpolatedMPKI = %g, want 6", got)
+	}
+}
+
+func TestCoarsenToGranule(t *testing.T) {
+	cfg, err := Configure(fig3Curve(), mb(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Way-granularity: a 4MB 32-way cache has granule 4MB/32 = 2048 lines.
+	granule := mb(4) / 32
+	co := cfg.CoarsenToGranule(granule)
+	if rem := math.Mod(co.S1, granule); rem > 1e-9 && granule-rem > 1e-9 {
+		t.Fatalf("coarsened s1 %g not a multiple of %g", co.S1, granule)
+	}
+	if math.Abs(co.S1+co.S2-co.TargetSize) > 1e-9 {
+		t.Fatal("coarsening must preserve total size")
+	}
+	// ρ recomputed from the coarsened s1 (§VI-B): ρ = s1/α.
+	wantRho := co.S1 / co.Alpha
+	if math.Abs(co.RhoIdeal-wantRho) > 1e-12 {
+		t.Fatalf("coarsened rho %g, want s1/alpha = %g", co.RhoIdeal, wantRho)
+	}
+}
+
+func TestCoarsenDegeneratePassthrough(t *testing.T) {
+	cfg := Config{TargetSize: 100, Alpha: 100, Beta: 100, Rho: 1, RhoIdeal: 1, S1: 100, Degenerate: true}
+	if got := cfg.CoarsenToGranule(64); got != cfg {
+		t.Fatal("degenerate configs must pass through coarsening")
+	}
+}
+
+func TestCoarsenTooCoarse(t *testing.T) {
+	cfg, err := Configure(fig3Curve(), mb(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Granule equal to the whole allocation: cannot host two partitions.
+	co := cfg.CoarsenToGranule(mb(4))
+	if !co.Degenerate {
+		t.Fatalf("expected degenerate fallback, got %+v", co)
+	}
+}
+
+// Property: for any valid monotone curve and any size strictly inside the
+// hull, the configuration satisfies the shadow-partition identities and
+// interpolates the hull exactly.
+func TestQuickConfigureIdentities(t *testing.T) {
+	f := func(sizes, mpkis []uint16, probeRaw uint16) bool {
+		n := len(sizes)
+		if len(mpkis) < n {
+			n = len(mpkis)
+		}
+		if n < 2 {
+			return true
+		}
+		pts := make([]curve.Point, 0, n)
+		x := 0.0
+		last := 6000.0
+		for i := 0; i < n; i++ {
+			x += float64(sizes[i]%500) + 1
+			// Non-increasing MPKI, as LRU curves are.
+			last = math.Max(0, last-float64(mpkis[i]%500))
+			pts = append(pts, curve.Point{Size: x, MPKI: last})
+		}
+		c := curve.MustNew(pts)
+		span := c.MaxSize() - c.MinSize()
+		s := c.MinSize() + span*(0.001+0.998*float64(probeRaw)/65535)
+		if s <= 0 {
+			return true
+		}
+		cfg, err := Configure(c, s, 0)
+		if err != nil {
+			return false
+		}
+		if cfg.Degenerate {
+			return cfg.Rho == 1 && cfg.S2 == 0
+		}
+		tol := 1e-6 * (1 + s)
+		if math.Abs(cfg.S1+cfg.S2-s) > tol {
+			return false
+		}
+		if math.Abs(cfg.S1/cfg.RhoIdeal-cfg.Alpha) > tol {
+			return false
+		}
+		if math.Abs(cfg.S2/(1-cfg.RhoIdeal)-cfg.Beta) > tol {
+			return false
+		}
+		// Predicted MPKI equals hull evaluation and never exceeds the
+		// original curve at s (hull property).
+		if math.Abs(cfg.PredictedMPKI-InterpolatedMPKI(c, s)) > 1e-6*(1+cfg.PredictedMPKI) {
+			return false
+		}
+		return cfg.PredictedMPKI <= c.Eval(s)+1e-6*(1+c.Eval(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

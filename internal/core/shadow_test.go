@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"talus/internal/cache"
+	"talus/internal/curve"
+	"talus/internal/partition"
+	"talus/internal/policy"
+)
+
+func newShadowed(t *testing.T, lines int64, logical int) *ShadowedCache {
+	t.Helper()
+	scheme := partition.NewVantage(2 * logical)
+	inner, err := cache.NewSetAssoc(lines, 16, scheme, policy.LRUFactory, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewShadowedCache(inner, logical, DefaultMargin, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestNewShadowedCacheValidation(t *testing.T) {
+	inner, err := cache.NewSetAssoc(1024, 16, partition.NewVantage(3), policy.LRUFactory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShadowedCache(inner, 1, 0, 1); err == nil {
+		t.Fatal("3 partitions for 1 logical must fail")
+	}
+	if _, err := NewShadowedCache(inner, 0, 0, 1); err == nil {
+		t.Fatal("zero logical partitions must fail")
+	}
+}
+
+func TestReconfigureArgumentValidation(t *testing.T) {
+	sc := newShadowed(t, 4096, 2)
+	c := curve.MustNew([]curve.Point{{Size: 0, MPKI: 10}, {Size: 4096, MPKI: 1}})
+	if err := sc.Reconfigure([]int64{100}, []*curve.Curve{c, c}); err == nil {
+		t.Fatal("mismatched allocation count must fail")
+	}
+	if err := sc.Reconfigure([]int64{100, 100}, []*curve.Curve{c}); err == nil {
+		t.Fatal("mismatched curve count must fail")
+	}
+}
+
+func TestReconfigureNilCurveFallsBack(t *testing.T) {
+	sc := newShadowed(t, 4096, 1)
+	// A nil curve must degrade gracefully to a single partition.
+	if err := sc.Reconfigure([]int64{3686}, []*curve.Curve{nil}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config(0)
+	if !cfg.Degenerate || cfg.Rho != 1 {
+		t.Fatalf("nil-curve config should be degenerate: %+v", cfg)
+	}
+	// Accesses still flow.
+	for i := 0; i < 1000; i++ {
+		sc.Access(uint64(i), 0)
+	}
+}
+
+func TestShadowSizesSumToAllocations(t *testing.T) {
+	sc := newShadowed(t, 8192, 2)
+	cliff := curve.MustNew([]curve.Point{
+		{Size: 0, MPKI: 20}, {Size: 3000, MPKI: 20}, {Size: 3100, MPKI: 2}, {Size: 16384, MPKI: 2},
+	})
+	convex := curve.MustNew([]curve.Point{
+		{Size: 0, MPKI: 10}, {Size: 2000, MPKI: 4}, {Size: 8000, MPKI: 1},
+	})
+	allocs := []int64{2500, 4874}
+	if err := sc.Reconfigure(allocs, []*curve.Curve{cliff, convex}); err != nil {
+		t.Fatal(err)
+	}
+	sizes := sc.ShadowSizes()
+	if len(sizes) != 4 {
+		t.Fatalf("want 4 shadow sizes, got %v", sizes)
+	}
+	for p := 0; p < 2; p++ {
+		if got := sizes[2*p] + sizes[2*p+1]; got != allocs[p] {
+			t.Errorf("logical %d: shadow sizes %d+%d != allocation %d",
+				p, sizes[2*p], sizes[2*p+1], allocs[p])
+		}
+		if sizes[2*p] < 0 || sizes[2*p+1] < 0 {
+			t.Errorf("negative shadow size: %v", sizes)
+		}
+	}
+	// The cliff partition (2500 lines, mid-plateau) must interpolate.
+	if sc.Config(0).Degenerate {
+		t.Error("cliff partition should not be degenerate at mid-plateau")
+	}
+}
+
+// Property: for random monotone curves and random allocations,
+// Reconfigure always produces shadow sizes summing to the allocation,
+// sampler rates in [0,1], and a predicted MPKI no worse than the raw
+// curve at the allocated size.
+func TestQuickReconfigureInvariants(t *testing.T) {
+	scheme := partition.NewVantage(2)
+	inner, err := cache.NewSetAssoc(1<<14, 16, scheme, policy.LRUFactory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewShadowedCache(inner, 1, DefaultMargin, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(steps []uint16, allocRaw uint16) bool {
+		if len(steps) < 2 {
+			return true
+		}
+		pts := make([]curve.Point, 0, len(steps)+1)
+		x, m := 0.0, 4000.0
+		pts = append(pts, curve.Point{Size: 0, MPKI: m})
+		for _, s := range steps {
+			x += float64(s%900) + 1
+			m = maxf(0, m-float64(s%700))
+			pts = append(pts, curve.Point{Size: x, MPKI: m})
+		}
+		c := curve.MustNew(pts)
+		alloc := int64(allocRaw)%inner.PartitionableCapacity() + 1
+		if err := sc.Reconfigure([]int64{alloc}, []*curve.Curve{c}); err != nil {
+			return false
+		}
+		sizes := sc.ShadowSizes()
+		if sizes[0]+sizes[1] != alloc || sizes[0] < 0 || sizes[1] < 0 {
+			return false
+		}
+		cfg := sc.Config(0)
+		if cfg.Rho < 0 || cfg.Rho > 1 {
+			return false
+		}
+		return cfg.PredictedMPKI <= c.Eval(float64(alloc))+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestShadowedAccessRouting checks that the α/β split follows the
+// programmed ρ.
+func TestShadowedAccessRouting(t *testing.T) {
+	sc := newShadowed(t, 8192, 1)
+	cliff := curve.MustNew([]curve.Point{
+		{Size: 0, MPKI: 20}, {Size: 4000, MPKI: 20}, {Size: 4100, MPKI: 1}, {Size: 16384, MPKI: 1},
+	})
+	// Mid-plateau allocation (the cache is bigger, but the partitioning
+	// algorithm chose 3000 lines for this partition).
+	alloc := int64(3000)
+	if err := sc.Reconfigure([]int64{alloc}, []*curve.Curve{cliff}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.Config(0)
+	if cfg.Degenerate {
+		t.Fatalf("expected interpolating config: %+v", cfg)
+	}
+	// Drive a wide address range; partition stats should split ~ρ.
+	for i := 0; i < 1<<16; i++ {
+		sc.Access(uint64(i)*2654435761, 0)
+	}
+	sa := sc.Inner().(*cache.SetAssoc)
+	alphaShare := float64(sa.PartStats(0).Accesses) / float64(1<<16)
+	if d := alphaShare - cfg.Rho; d > 0.02 || d < -0.02 {
+		t.Fatalf("alpha share %g, programmed rho %g", alphaShare, cfg.Rho)
+	}
+}

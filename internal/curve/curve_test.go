@@ -1,0 +1,277 @@
+package curve
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Point
+		ok   bool
+	}{
+		{"empty", nil, false},
+		{"single", []Point{{0, 10}}, true},
+		{"sorted", []Point{{0, 10}, {5, 5}, {10, 1}}, true},
+		{"unsorted", []Point{{5, 5}, {0, 10}}, false},
+		{"duplicate size", []Point{{5, 5}, {5, 4}}, false},
+		{"negative size", []Point{{-1, 5}}, false},
+		{"negative mpki", []Point{{1, -5}}, false},
+		{"nan size", []Point{{math.NaN(), 5}}, false},
+		{"nan mpki", []Point{{1, math.NaN()}}, false},
+		{"inf mpki", []Point{{1, math.Inf(1)}}, false},
+		{"inf size", []Point{{math.Inf(1), 1}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.pts)
+			if (err == nil) != tc.ok {
+				t.Fatalf("New(%v) error = %v, want ok=%v", tc.pts, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	pts := []Point{{0, 10}, {10, 5}}
+	c := MustNew(pts)
+	pts[0].MPKI = 999
+	if c.PointAt(0).MPKI != 10 {
+		t.Fatal("New must copy its input slice")
+	}
+}
+
+func TestEvalInterpolation(t *testing.T) {
+	c := MustNew([]Point{{0, 20}, {10, 10}, {20, 10}, {30, 0}})
+	cases := []struct {
+		s, want float64
+	}{
+		{-5, 20},   // clamp below
+		{0, 20},    // exact point
+		{5, 15},    // interpolate
+		{10, 10},   // exact point
+		{15, 10},   // flat segment
+		{25, 5},    // interpolate down the cliff
+		{30, 0},    // last point
+		{100, 0},   // clamp above
+		{12.5, 10}, // inside flat region
+	}
+	for _, tc := range cases {
+		if got := c.Eval(tc.s); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Eval(%g) = %g, want %g", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestEvalEmptyAndNil(t *testing.T) {
+	var c *Curve
+	if got := c.Eval(5); got != 0 {
+		t.Fatalf("nil curve Eval = %g, want 0", got)
+	}
+	if (&Curve{}).Eval(5) != 0 {
+		t.Fatal("zero curve should evaluate to 0")
+	}
+	if c.NumPoints() != 0 || c.MinSize() != 0 || c.MaxSize() != 0 {
+		t.Fatal("nil curve accessors should be zero")
+	}
+}
+
+func TestScaleTheorem4(t *testing.T) {
+	// m'(s') = ρ·m(s'/ρ): check at several sizes and rates.
+	c := MustNew([]Point{{0, 24}, {32768, 12}, {81920, 3}, {163840, 3}})
+	for _, rho := range []float64{0.1, 1.0 / 3, 0.5, 0.9, 1} {
+		scaled, err := c.Scale(rho)
+		if err != nil {
+			t.Fatalf("Scale(%g): %v", rho, err)
+		}
+		for _, s := range []float64{0, 1000, 20000, 50000, 100000} {
+			want := rho * c.Eval(s/rho)
+			if got := scaled.Eval(s * 1); !almostEq(got, rho*c.Eval(s/rho), 1e-9) {
+				t.Errorf("rho=%g: scaled(%g) = %g, want %g", rho, s, got, want)
+			}
+		}
+	}
+}
+
+func TestScaleIdentity(t *testing.T) {
+	c := MustNew([]Point{{0, 10}, {100, 5}})
+	s, err := c.Scale(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.NumPoints(); i++ {
+		if s.PointAt(i) != c.PointAt(i) {
+			t.Fatalf("Scale(1) changed point %d", i)
+		}
+	}
+}
+
+func TestScaleRejectsBadRho(t *testing.T) {
+	c := MustNew([]Point{{0, 10}, {100, 5}})
+	for _, rho := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := c.Scale(rho); err == nil {
+			t.Errorf("Scale(%g) should fail", rho)
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := MustNew([]Point{{0, 10}, {10, 0}})
+	b := MustNew([]Point{{0, 6}, {5, 3}, {20, 1}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []float64{0, 2.5, 5, 7, 10, 15, 20, 30} {
+		want := a.Eval(s) + b.Eval(s)
+		if got := sum.Eval(s); !almostEq(got, want, 1e-9) {
+			t.Errorf("sum(%g) = %g, want %g", s, got, want)
+		}
+	}
+	// The merged grid is the union of both curves' sizes: {0, 5, 10, 20}.
+	if sum.NumPoints() != 4 {
+		t.Errorf("merged points = %d, want 4", sum.NumPoints())
+	}
+}
+
+func TestScaleMPKI(t *testing.T) {
+	c := MustNew([]Point{{0, 10}, {10, 4}})
+	d, err := c.ScaleMPKI(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d.Eval(0), 5, 1e-12) || !almostEq(d.Eval(10), 2, 1e-12) {
+		t.Fatalf("ScaleMPKI wrong: %v", d)
+	}
+	if _, err := c.ScaleMPKI(-1); err == nil {
+		t.Fatal("negative factor should fail")
+	}
+}
+
+func TestIsNonIncreasing(t *testing.T) {
+	if !MustNew([]Point{{0, 10}, {5, 10}, {10, 0}}).IsNonIncreasing() {
+		t.Fatal("monotone curve misclassified")
+	}
+	if MustNew([]Point{{0, 10}, {5, 12}}).IsNonIncreasing() {
+		t.Fatal("increasing curve misclassified")
+	}
+}
+
+func TestIsConvex(t *testing.T) {
+	convex := MustNew([]Point{{0, 20}, {10, 10}, {20, 5}, {30, 3}})
+	if !convex.IsConvex(1e-9) {
+		t.Fatal("convex curve misclassified")
+	}
+	cliffy := MustNew([]Point{{0, 20}, {10, 19}, {20, 2}})
+	if cliffy.IsConvex(1e-9) {
+		t.Fatal("cliff misclassified as convex")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if LinesPerMB != 16384 {
+		t.Fatalf("LinesPerMB = %d, want 16384 (64B lines)", LinesPerMB)
+	}
+	if got := MBToLines(2); got != 32768 {
+		t.Fatalf("MBToLines(2) = %g", got)
+	}
+	if got := LinesToMB(32768); got != 2 {
+		t.Fatalf("LinesToMB(32768) = %g", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := MustNew([]Point{{0, 24}, {32768, 12}})
+	if s := c.String(); s == "" || s == "curve()" {
+		t.Fatalf("String() = %q", s)
+	}
+	var nilCurve *Curve
+	if nilCurve.String() != "curve()" {
+		t.Fatal("nil curve String should be curve()")
+	}
+}
+
+// quickCurve builds a valid random curve from fuzz input.
+func quickCurve(sizes []uint16, mpkis []uint16) *Curve {
+	n := len(sizes)
+	if len(mpkis) < n {
+		n = len(mpkis)
+	}
+	if n == 0 {
+		return nil
+	}
+	pts := make([]Point, 0, n)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += float64(sizes[i]%1000) + 1
+		pts = append(pts, Point{Size: x, MPKI: float64(mpkis[i] % 5000)})
+	}
+	return MustNew(pts)
+}
+
+// Property: Scale obeys Theorem 4 on arbitrary curves at arbitrary probes.
+func TestQuickScaleTheorem4(t *testing.T) {
+	f := func(sizes, mpkis []uint16, rhoRaw uint8, probe uint16) bool {
+		c := quickCurve(sizes, mpkis)
+		if c == nil {
+			return true
+		}
+		rho := (float64(rhoRaw%99) + 1) / 100 // (0,1]
+		scaled, err := c.Scale(rho)
+		if err != nil {
+			return false
+		}
+		s := float64(probe)
+		return almostEq(scaled.Eval(s), rho*c.Eval(s/rho), 1e-6*(1+c.Eval(0)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Eval is bounded by the curve's extreme MPKIs for monotone
+// curves, and lies between min and max point values in general.
+func TestQuickEvalBounds(t *testing.T) {
+	f := func(sizes, mpkis []uint16, probe uint32) bool {
+		c := quickCurve(sizes, mpkis)
+		if c == nil {
+			return true
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < c.NumPoints(); i++ {
+			m := c.PointAt(i).MPKI
+			lo = math.Min(lo, m)
+			hi = math.Max(hi, m)
+		}
+		got := c.Eval(float64(probe % 100000))
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative.
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(s1, m1, s2, m2 []uint16, probe uint16) bool {
+		a := quickCurve(s1, m1)
+		b := quickCurve(s2, m2)
+		if a == nil || b == nil {
+			return true
+		}
+		ab, err1 := a.Add(b)
+		ba, err2 := b.Add(a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		s := float64(probe)
+		return almostEq(ab.Eval(s), ba.Eval(s), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

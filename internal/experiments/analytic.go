@@ -1,0 +1,163 @@
+// Analytic experiments: the worked example of §III (Figs. 2, 3) and the
+// bypassing comparison of §V-C (Figs. 5, 6). These need no simulation —
+// they exercise the Talus math directly, exactly as the paper's text
+// walks through it — plus Table I, which is configuration, not data.
+
+package experiments
+
+import (
+	"talus/internal/bypass"
+	"talus/internal/core"
+	"talus/internal/curve"
+	"talus/internal/hull"
+	"talus/internal/sim"
+)
+
+// exampleCurve is the miss curve of Fig. 3: an application accessing 2 MB
+// at random plus 3 MB sequentially at 24 APKI — 12 MPKI at 2 MB, a
+// plateau, then a cliff at 5 MB down to 3 MPKI.
+func exampleCurve() *curve.Curve {
+	mb := curve.MBToLines
+	return curve.MustNew([]curve.Point{
+		{Size: 0, MPKI: 24},
+		{Size: mb(0.5), MPKI: 21},
+		{Size: mb(1), MPKI: 18},
+		{Size: mb(1.5), MPKI: 15},
+		{Size: mb(2), MPKI: 12},
+		{Size: mb(3), MPKI: 12},
+		{Size: mb(4), MPKI: 12},
+		{Size: mb(4.999), MPKI: 12},
+		{Size: mb(5), MPKI: 3},
+		{Size: mb(6), MPKI: 3},
+		{Size: mb(8), MPKI: 3},
+		{Size: mb(10), MPKI: 3},
+	})
+}
+
+// runFig2 reproduces Fig. 2's decomposition: the original caches at 2 MB
+// and 5 MB split by sets 1:2, and the Talus cache at 4 MB whose top
+// partition behaves like the 2 MB cache's top third and whose bottom
+// partition behaves like the 5 MB cache's bottom two-thirds.
+func runFig2(cfg Config) error {
+	m := exampleCurve()
+	mb := curve.MBToLines
+	const apki = 24.0
+
+	t := newTable(cfg, "cache", "partition", "size(MB)", "accesses(APKI)", "misses(MPKI)")
+
+	// Fig. 2a: the original 2 MB cache split 1:2 by sets. Accesses and
+	// misses split proportionally (Theorem 4 with proportional sampling).
+	m2 := m.Eval(mb(2))
+	t.row("original@2MB", "top 1/3", 2.0/3, apki/3, m2/3)
+	t.row("original@2MB", "bottom 2/3", 2*2.0/3, apki*2/3, m2*2/3)
+
+	// Fig. 2b: the original 5 MB cache split 1:2.
+	m5 := m.Eval(mb(5))
+	t.row("original@5MB", "top 1/3", 5.0/3, apki/3, m5/3)
+	t.row("original@5MB", "bottom 2/3", 2*5.0/3, apki*2/3, m5*2/3)
+
+	// Fig. 2c: the Talus 4 MB cache. Configure with zero margin to get
+	// the textbook numbers: ρ = 1/3, s1 = 2/3 MB, s2 = 10/3 MB.
+	c, err := core.Configure(m, mb(4), 0)
+	if err != nil {
+		return err
+	}
+	t.row("talus@4MB", "α (top)", curve.LinesToMB(c.S1), apki*c.RhoIdeal, c.RhoIdeal*c.MAlpha)
+	t.row("talus@4MB", "β (bottom)", curve.LinesToMB(c.S2), apki*(1-c.RhoIdeal), (1-c.RhoIdeal)*c.MBeta)
+	t.row("talus@4MB", "total", 4.0, apki, c.PredictedMPKI)
+	return t.flush(cfg, "fig2")
+}
+
+// runFig3 prints the example curve, its convex hull, and the Talus
+// configuration at 4 MB (the dotted line and annotated point of Fig. 3).
+func runFig3(cfg Config) error {
+	m := exampleCurve()
+	h := hull.Lower(m)
+	t := newTable(cfg, "size(MB)", "original(MPKI)", "hull(MPKI)")
+	for s := 0.0; s <= 10; s += 0.5 {
+		lines := curve.MBToLines(s)
+		t.row(s, m.Eval(lines), h.Eval(lines))
+	}
+	if err := t.flush(cfg, "fig3"); err != nil {
+		return err
+	}
+
+	c, err := core.Configure(m, curve.MBToLines(4), 0)
+	if err != nil {
+		return err
+	}
+	t2 := newTable(cfg, "quantity", "value")
+	t2.row("alpha (MB)", curve.LinesToMB(c.Alpha))
+	t2.row("beta (MB)", curve.LinesToMB(c.Beta))
+	t2.row("rho", c.RhoIdeal)
+	t2.row("s1 (MB)", curve.LinesToMB(c.S1))
+	t2.row("s2 (MB)", curve.LinesToMB(c.S2))
+	t2.row("original MPKI @4MB", m.Eval(curve.MBToLines(4)))
+	t2.row("Talus MPKI @4MB", c.PredictedMPKI)
+	return t2.flush(cfg, "fig3_config")
+}
+
+// runFig5 reproduces the optimal-bypassing decomposition at 4 MB: the
+// non-bypassed stream behaves as a 5 MB cache, the bypassed stream adds
+// its full miss rate, and the total lands between LRU and Talus.
+func runFig5(cfg Config) error {
+	m := exampleCurve()
+	bc, err := bypass.Optimal(m, curve.MBToLines(4))
+	if err != nil {
+		return err
+	}
+	t := newTable(cfg, "quantity", "value")
+	t.row("admitted fraction rho", bc.Rho)
+	t.row("emulated size (MB)", curve.LinesToMB(bc.Emulated))
+	t.row("non-bypassed MPKI", bc.Rho*m.Eval(bc.Emulated))
+	t.row("bypassed MPKI", (1-bc.Rho)*bc.M0)
+	t.row("total bypassing MPKI", bc.MPKI)
+	t.row("LRU MPKI @4MB", m.Eval(curve.MBToLines(4)))
+	t.row("Talus MPKI @4MB", core.InterpolatedMPKI(m, curve.MBToLines(4)))
+	return t.flush(cfg, "fig5")
+}
+
+// runFig6 prints the three curves of Fig. 6: original, optimal bypassing,
+// and Talus (the hull). The ordering hull ≤ bypassing ≤ original must
+// hold pointwise (Corollary 8).
+func runFig6(cfg Config) error {
+	m := exampleCurve()
+	h := hull.Lower(m)
+	var sizes []float64
+	for s := 0.25; s <= 10; s += 0.25 {
+		sizes = append(sizes, curve.MBToLines(s))
+	}
+	b, err := bypass.Curve(m, sizes)
+	if err != nil {
+		return err
+	}
+	t := newTable(cfg, "size(MB)", "original", "bypassing", "talus(hull)")
+	for _, s := range sizes {
+		t.row(curve.LinesToMB(s), m.Eval(s), b.Eval(s), h.Eval(s))
+	}
+	return t.flush(cfg, "fig6")
+}
+
+// runTable1 prints the simulated system configuration, mapping Table I's
+// rows to this reproduction's substitutes.
+func runTable1(cfg Config) error {
+	t := newTable(cfg, "component", "paper (Table I)", "this reproduction")
+	t.row("Cores", "1 (ST) / 8 (MP) OOO Silvermont-like, 2.4GHz",
+		"analytic model: CPI = CPIBase + MPKI/1000·Lat/MLP")
+	t.row("L1/L2", "32KB L1, 128KB private L2 (filter locality)",
+		"clones emit post-L2 LLC streams directly (APKI)")
+	t.row("L3", "shared, non-inclusive, 1MB/core; 32-way or zcache 4/52",
+		"hash-indexed 32-way set-assoc; vantage/way/set/ideal schemes")
+	t.row("Replacement", "LRU, SRRIP, DRRIP, TA-DRRIP, DIP, PDP",
+		"same, implemented per original papers")
+	t.row("Partitioning", "Vantage (10% unmanaged), way, set, ideal",
+		"same contracts (internal/partition)")
+	t.row("Monitors", "UMON 16×64 @1KB + 1:16 extended",
+		"UMON 64×64 + 64-way extended @rate/4 (4x coverage)")
+	t.row("Main mem", "200 cycles, 12.8GBps/channel",
+		"200-cycle penalty / MLP in the IPC model")
+	t.row("Reconfiguration", "every 10ms", "every epoch (EpochCycles, default 2M cycles)")
+	t.row("Talus margin", "rho +5%", "DefaultMargin = 0.05")
+	_ = sim.MemLatency
+	return t.flush(cfg, "table1")
+}

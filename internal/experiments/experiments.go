@@ -1,0 +1,277 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§VII). Each experiment prints the same rows/series the
+// paper reports (MPKI-vs-size curves, IPC-over-LRU bars, speedup
+// quantiles, fairness case studies) and optionally writes CSVs for
+// plotting. The cmd/talus-exp binary is a thin CLI over this package, and
+// the root bench_test.go runs scaled-down versions as Go benchmarks.
+//
+// Absolute numbers differ from the paper (synthetic SPEC clones, analytic
+// core model — see DESIGN.md §2); the shapes (who wins, by what factor,
+// where cliffs and crossovers sit) are the reproduction targets, recorded
+// side by side in EXPERIMENTS.md.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"text/tabwriter"
+
+	"talus/internal/curve"
+)
+
+// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers.
+// Simulation runs are independent and deterministic per index, so results
+// land in preallocated slots and output never depends on scheduling.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Config controls experiment scale and output.
+type Config struct {
+	// Quick shrinks sweeps and access counts (~10× faster) for smoke
+	// runs; Tiny shrinks further for Go benchmarks (bench_test.go), where
+	// each figure must regenerate in seconds; Full expands to paper-scale
+	// sweeps. Precedence: Tiny > Quick > Full.
+	Quick bool
+	Tiny  bool
+	Full  bool
+	// OutDir, when non-empty, receives one CSV per experiment.
+	OutDir string
+	// Seed makes runs reproducible; 0 is a valid seed.
+	Seed uint64
+	// W receives the human-readable tables (default os.Stdout).
+	W io.Writer
+}
+
+func (c Config) out() io.Writer {
+	if c.W == nil {
+		return os.Stdout
+	}
+	return c.W
+}
+
+// An experiment regenerates one paper artifact.
+type experiment struct {
+	name  string
+	about string
+	run   func(Config) error
+}
+
+var registry = []experiment{
+	{"fig1", "libquantum MPKI vs LLC size: LRU vs Talus (cliff removal)", runFig1},
+	{"fig2", "worked example: shadow-partition decomposition at 2/5/4 MB", runFig2},
+	{"fig3", "example miss curve, convex hull, and the Talus point at 4 MB", runFig3},
+	{"fig5", "optimal bypassing decomposition at 4 MB", runFig5},
+	{"fig6", "Talus (hull) vs optimal bypassing vs original curve", runFig6},
+	{"fig8", "Talus on Vantage/way/ideal partitioning (libquantum, gobmk)", runFig8},
+	{"fig9", "Talus on SRRIP via 64-point monitors (libquantum, mcf)", runFig9},
+	{"fig10", "MPKI vs size, 6 apps × {Talus+V/LRU, PDP, DRRIP, SRRIP, LRU}", runFig10},
+	{"fig11", "IPC over LRU at 1 MB and 8 MB, all 29 apps + gmean", runFig11},
+	{"fig12", "8-core mixes: weighted & harmonic speedup quantiles", runFig12},
+	{"fig13", "fairness case studies: 8 copies, exec time + CoV of IPC", runFig13},
+	{"table1", "simulated system configuration (Table I)", runTable1},
+	{"table2", "gmean IPC gains over LRU per policy (§VII-C)", runTable2},
+}
+
+// Names lists experiment ids in run order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// About returns an experiment's one-line description.
+func About(name string) string {
+	for _, e := range registry {
+		if e.name == name {
+			return e.about
+		}
+	}
+	return ""
+}
+
+// Run executes one experiment ("all" runs everything in order).
+func Run(name string, cfg Config) error {
+	if name == "all" {
+		for _, e := range registry {
+			fmt.Fprintf(cfg.out(), "\n=== %s: %s ===\n", e.name, e.about)
+			if err := e.run(cfg); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range registry {
+		if e.name == name {
+			return e.run(cfg)
+		}
+	}
+	return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+}
+
+// --- output helpers ------------------------------------------------------
+
+// table renders aligned columns to the config's writer.
+type table struct {
+	tw  *tabwriter.Writer
+	csv [][]string
+}
+
+func newTable(cfg Config, headers ...string) *table {
+	t := &table{tw: tabwriter.NewWriter(cfg.out(), 2, 4, 2, ' ', 0)}
+	t.row(toAny(headers)...)
+	return t
+}
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+func (t *table) row(cells ...any) {
+	strs := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			strs[i] = strconv.FormatFloat(v, 'f', 3, 64)
+		default:
+			strs[i] = fmt.Sprint(c)
+		}
+	}
+	t.csv = append(t.csv, strs)
+	fmt.Fprintln(t.tw, join(strs, "\t"))
+}
+
+func join(ss []string, sep string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += sep
+		}
+		out += s
+	}
+	return out
+}
+
+// flush renders the table and, when OutDir is set, writes name.csv.
+func (t *table) flush(cfg Config, name string) error {
+	if err := t.tw.Flush(); err != nil {
+		return err
+	}
+	if cfg.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(cfg.OutDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(t.csv); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// --- shared sizing helpers ------------------------------------------------
+
+// mbSizes converts MB values to line counts.
+func mbSizes(mbs []float64) []int64 {
+	out := make([]int64, len(mbs))
+	for i, m := range mbs {
+		out[i] = int64(curve.MBToLines(m))
+	}
+	return out
+}
+
+// sweepSizes picks a size grid between lo and hi MB: Quick uses few
+// points, Tiny fewer still, Full many.
+func sweepSizes(cfg Config, lo, hi float64, quickN, defN, fullN int) []float64 {
+	n := defN
+	switch {
+	case cfg.Tiny:
+		n = 3
+	case cfg.Quick:
+		n = quickN
+	case cfg.Full:
+		n = fullN
+	}
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// accessBudget returns (warmup, measure) access counts for a cache of
+// `lines` lines at the configured scale.
+func accessBudget(cfg Config, lines int64) (int64, int64) {
+	warm := 2 * lines
+	meas := 3 * lines
+	floorW, floorM := int64(1<<19), int64(1<<20)
+	switch {
+	case cfg.Tiny:
+		warm, meas = lines, lines
+		floorW, floorM = 1<<17, 1<<18
+	case cfg.Quick:
+		warm, meas = lines, 2*lines
+		floorW, floorM = 1<<18, 1<<19
+	case cfg.Full:
+		warm, meas = 3*lines, 6*lines
+		floorM = 1 << 22
+	}
+	if warm < floorW {
+		warm = floorW
+	}
+	if meas < floorM {
+		meas = floorM
+	}
+	return warm, meas
+}

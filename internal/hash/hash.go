@@ -1,0 +1,196 @@
+// Package hash implements the H3 family of universal hash functions
+// (Carter & Wegman, STOC 1977) over 64-bit keys, plus the splitmix64
+// pseudo-random generator used to seed them deterministically.
+//
+// Talus's hardware sampler (paper §VI-B) hashes each incoming line address
+// with an inexpensive H3 hash to an 8-bit value and compares it against a
+// per-partition limit register: values below the limit route the access to
+// the α shadow partition, the rest to the β shadow partition. H3's pairwise
+// independence is what makes the sampled stream statistically self-similar
+// to the full stream (Assumption 3), which Theorem 4 relies on.
+//
+// An H3 hash of width w over n-bit keys is defined by an n×w random bit
+// matrix Q: h(x) = XOR over all set bits i of x of Q[i]. In software we
+// store Q as one w-bit word per input bit and XOR the words selected by the
+// key's set bits.
+package hash
+
+// H3 is a single member of the H3 universal hash family over 64-bit keys,
+// producing values of up to 64 bits. The zero value is not useful; create
+// instances with NewH3.
+//
+// The per-bit XOR matrix is folded into eight 256-entry byte tables
+// (tab[p][b] = XOR of the matrix rows selected by byte value b at byte
+// position p), turning the 64 conditional XORs of the textbook
+// construction into at most eight table lookups per hash. The function
+// computed is bit-identical to the per-bit form.
+type H3 struct {
+	tab  [8][256]uint64
+	mask uint64 // restricts output to the configured width
+}
+
+// NewH3 returns an H3 hash with the given output width in bits (1–64),
+// with its matrix drawn deterministically from seed. Two H3 instances with
+// the same seed and width are identical; different seeds give independent
+// family members.
+func NewH3(seed uint64, widthBits uint) *H3 {
+	if widthBits == 0 || widthBits > 64 {
+		panic("hash: H3 width must be in [1,64] bits")
+	}
+	h := &H3{}
+	if widthBits == 64 {
+		h.mask = ^uint64(0)
+	} else {
+		h.mask = (uint64(1) << widthBits) - 1
+	}
+	s := NewSplitMix64(seed)
+	var q [64]uint64 // one random word per input bit
+	for i := range q {
+		q[i] = s.Next() & h.mask
+	}
+	for p := 0; p < 8; p++ {
+		for b := 1; b < 256; b++ {
+			var v uint64
+			for j := 0; j < 8; j++ {
+				if b&(1<<j) != 0 {
+					v ^= q[p*8+j]
+				}
+			}
+			h.tab[p][b] = v
+		}
+	}
+	return h
+}
+
+// Hash returns the H3 hash of key, an integer in [0, 2^width).
+func (h *H3) Hash(key uint64) uint64 {
+	return h.tab[0][key&0xFF] ^
+		h.tab[1][key>>8&0xFF] ^
+		h.tab[2][key>>16&0xFF] ^
+		h.tab[3][key>>24&0xFF] ^
+		h.tab[4][key>>32&0xFF] ^
+		h.tab[5][key>>40&0xFF] ^
+		h.tab[6][key>>48&0xFF] ^
+		h.tab[7][key>>56&0xFF]
+}
+
+// Reduce maps a 64-bit hash to [0, n) by multiply-shift (the high word of
+// hash × n). Unlike hash % n with a power-of-two n — which keeps only the
+// low log2(n) output bits and can collapse when a workload's addresses
+// span a small input window whose GF(2) submatrix into those bits is
+// rank-deficient — Reduce mixes all 64 output bits into the index.
+func Reduce(hashVal uint64, n int) int {
+	hi, _ := mul64(hashVal, uint64(n))
+	return int(hi)
+}
+
+// Sampler routes line addresses between two shadow partitions using an
+// 8-bit H3 hash and a limit register, exactly as in the paper's hardware
+// implementation (Fig. 7b). An address goes to the α partition when
+// hash(addr) < limit, otherwise to the β partition. Limit 0 sends
+// everything to β; limit 256 sends everything to α.
+type Sampler struct {
+	h     *H3
+	limit uint32 // in [0, 256]
+}
+
+// NewSampler creates a Sampler with an 8-bit H3 hash drawn from seed.
+// The initial limit is 256 (all accesses to α), which corresponds to an
+// unpartitioned (Talus-disabled) configuration.
+func NewSampler(seed uint64) *Sampler {
+	return &Sampler{h: NewH3(seed, 8), limit: 256}
+}
+
+// SetRate programs the limit register so that approximately a fraction rho
+// of addresses sample into α. rho is clamped to [0, 1].
+func (s *Sampler) SetRate(rho float64) {
+	switch {
+	case rho <= 0:
+		s.limit = 0
+	case rho >= 1:
+		s.limit = 256
+	default:
+		s.limit = uint32(rho*256 + 0.5)
+	}
+}
+
+// Rate returns the currently programmed sampling fraction, limit/256.
+func (s *Sampler) Rate() float64 { return float64(s.limit) / 256 }
+
+// ToAlpha reports whether addr routes to the α shadow partition.
+func (s *Sampler) ToAlpha(addr uint64) bool {
+	return uint32(s.h.Hash(addr)) < s.limit
+}
+
+// SplitMix64 is the splitmix64 PRNG (Steele, Lea & Flood). It passes
+// BigCrush, needs only one uint64 of state, and every distinct seed yields
+// an independent-looking stream, which makes it ideal for deriving the many
+// deterministic seeds the simulator needs (one per workload, monitor,
+// sampler...). It is also used directly as the simulator's random source to
+// keep experiments reproducible across platforms, unlike math/rand whose
+// stream is not guaranteed stable between Go releases.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64 pseudo-random bits.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (s *SplitMix64) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("hash: Uint64n with n == 0")
+	}
+	// Multiply-shift rejection-free reduction (Lemire). The tiny modulo
+	// bias is irrelevant at the simulator's n << 2^64 ranges.
+	hi, _ := mul64(s.Next(), n)
+	return hi
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("hash: Intn with n <= 0")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Perm returns a uniformly random permutation of [0, n), like rand.Perm.
+func (s *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}

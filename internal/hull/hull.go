@@ -1,0 +1,75 @@
+// Package hull computes lower convex hulls of miss curves.
+//
+// Talus traces the convex hull of the underlying policy's miss curve
+// (paper Theorem 6): the hull is the smallest convex curve lying on or
+// below the original — "the curve produced by stretching a taut rubber
+// band across the curve from below" (§III). The paper computes hulls with
+// the three-coins algorithm; for points already sorted by size this is
+// equivalent to Andrew's monotone-chain scan implemented here, which is
+// likewise a single linear pass.
+package hull
+
+import (
+	"talus/internal/curve"
+)
+
+// Lower returns the lower convex hull of c as a new curve. The hull's
+// points are a subset of c's points, always including the first and last;
+// evaluated anywhere in between, the hull is ≤ the original curve.
+func Lower(c *curve.Curve) *curve.Curve {
+	pts := c.Points()
+	if len(pts) <= 2 {
+		return curve.MustNew(pts)
+	}
+	// Monotone-chain lower hull: maintain a stack of hull points; pop
+	// while the last two stack points and the incoming point fail to make
+	// a counter-clockwise turn (i.e., while the middle point lies on or
+	// above the chord and thus cannot be a lower-hull vertex).
+	stack := make([]curve.Point, 0, len(pts))
+	for _, p := range pts {
+		for len(stack) >= 2 && cross(stack[len(stack)-2], stack[len(stack)-1], p) <= 0 {
+			stack = stack[:len(stack)-1]
+		}
+		stack = append(stack, p)
+	}
+	return curve.MustNew(stack)
+}
+
+// cross returns the z-component of (b−a) × (c−a). Positive means the
+// points a→b→c turn counter-clockwise (b below chord a—c in miss-curve
+// orientation), which keeps b on the lower hull.
+func cross(a, b, c curve.Point) float64 {
+	return (b.Size-a.Size)*(c.MPKI-a.MPKI) - (b.MPKI-a.MPKI)*(c.Size-a.Size)
+}
+
+// Neighbors returns the hull points α and β that bracket size s on the
+// already-computed hull h, per Theorem 6: α is the largest hull size no
+// greater than s, and β is the smallest hull size larger than s. When s
+// lies on or beyond the hull's extremes, both return the clamped extreme
+// point and ok is false, signalling that no interpolation is needed
+// (the original policy is already on its hull at s).
+func Neighbors(h *curve.Curve, s float64) (alpha, beta curve.Point, ok bool) {
+	n := h.NumPoints()
+	if n == 0 {
+		return curve.Point{}, curve.Point{}, false
+	}
+	first, last := h.PointAt(0), h.PointAt(n-1)
+	if s <= first.Size {
+		return first, first, false
+	}
+	if s >= last.Size {
+		return last, last, false
+	}
+	for i := 1; i < n; i++ {
+		p := h.PointAt(i)
+		if p.Size > s {
+			a := h.PointAt(i - 1)
+			if a.Size == s {
+				// Exactly on a hull vertex: no interpolation needed.
+				return a, a, false
+			}
+			return a, p, true
+		}
+	}
+	return last, last, false // unreachable given the guards above
+}

@@ -1,0 +1,196 @@
+package hull
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"talus/internal/curve"
+)
+
+// fig3Curve is the paper's example miss curve (Fig. 3): an app accessing
+// 2 MB at random and 3 MB sequentially at 24 APKI, yielding 12 MPKI at
+// 2 MB and a cliff at 5 MB down to 3 MPKI. Sizes in lines.
+func fig3Curve() *curve.Curve {
+	mb := func(x float64) float64 { return curve.MBToLines(x) }
+	return curve.MustNew([]curve.Point{
+		{Size: 0, MPKI: 24},
+		{Size: mb(2), MPKI: 12},
+		{Size: mb(4.999), MPKI: 12}, // plateau
+		{Size: mb(5), MPKI: 3},      // cliff
+		{Size: mb(10), MPKI: 3},
+	})
+}
+
+func TestLowerFig3(t *testing.T) {
+	h := Lower(fig3Curve())
+	// The hull must bridge the plateau: (0,24), (2MB,12), (5MB,3), (10MB,3).
+	want := []curve.Point{
+		{Size: 0, MPKI: 24},
+		{Size: curve.MBToLines(2), MPKI: 12},
+		{Size: curve.MBToLines(5), MPKI: 3},
+		{Size: curve.MBToLines(10), MPKI: 3},
+	}
+	if h.NumPoints() != len(want) {
+		t.Fatalf("hull has %d points, want %d: %v", h.NumPoints(), len(want), h)
+	}
+	for i, w := range want {
+		got := h.PointAt(i)
+		if math.Abs(got.Size-w.Size) > 1e-9 || math.Abs(got.MPKI-w.MPKI) > 1e-9 {
+			t.Errorf("hull[%d] = %+v, want %+v", i, got, w)
+		}
+	}
+	// Paper's headline number: the hull at 4 MB is 6 MPKI (vs LRU's 12).
+	if got := h.Eval(curve.MBToLines(4)); math.Abs(got-6) > 1e-9 {
+		t.Errorf("hull(4MB) = %g MPKI, want 6", got)
+	}
+}
+
+func TestLowerDegenerate(t *testing.T) {
+	single := curve.MustNew([]curve.Point{{Size: 10, MPKI: 5}})
+	if h := Lower(single); h.NumPoints() != 1 {
+		t.Fatal("single-point hull should be the point itself")
+	}
+	two := curve.MustNew([]curve.Point{{Size: 0, MPKI: 5}, {Size: 10, MPKI: 1}})
+	if h := Lower(two); h.NumPoints() != 2 {
+		t.Fatal("two-point hull should keep both points")
+	}
+	flat := curve.MustNew([]curve.Point{{Size: 0, MPKI: 5}, {Size: 5, MPKI: 5}, {Size: 10, MPKI: 5}})
+	h := Lower(flat)
+	if h.NumPoints() != 2 {
+		t.Fatalf("flat hull should collapse to endpoints, got %v", h)
+	}
+}
+
+func TestLowerAlreadyConvex(t *testing.T) {
+	c := curve.MustNew([]curve.Point{{Size: 0, MPKI: 20}, {Size: 10, MPKI: 10}, {Size: 20, MPKI: 5}, {Size: 30, MPKI: 3}, {Size: 40, MPKI: 2.5}})
+	h := Lower(c)
+	if h.NumPoints() != c.NumPoints() {
+		t.Fatalf("convex curve's hull should keep all points: %v", h)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	h := Lower(fig3Curve())
+	mb := curve.MBToLines
+
+	alpha, beta, ok := Neighbors(h, mb(4))
+	if !ok {
+		t.Fatal("interior size should need interpolation")
+	}
+	if alpha.Size != mb(2) || beta.Size != mb(5) {
+		t.Fatalf("Neighbors(4MB) = %g, %g MB", curve.LinesToMB(alpha.Size), curve.LinesToMB(beta.Size))
+	}
+
+	// Exactly on a vertex: no interpolation.
+	if _, _, ok := Neighbors(h, mb(2)); ok {
+		t.Fatal("on-vertex size should be degenerate")
+	}
+	// Below the first point and above the last: degenerate.
+	if _, _, ok := Neighbors(h, 0); ok {
+		t.Fatal("at or below hull start should be degenerate")
+	}
+	if _, _, ok := Neighbors(h, mb(10)); ok {
+		t.Fatal("at hull end should be degenerate")
+	}
+	if _, _, ok := Neighbors(h, mb(50)); ok {
+		t.Fatal("beyond hull end should be degenerate")
+	}
+}
+
+func TestNeighborsEmpty(t *testing.T) {
+	if _, _, ok := Neighbors(&curve.Curve{}, 5); ok {
+		t.Fatal("empty hull must be degenerate")
+	}
+}
+
+// quickCurve builds a valid random curve from fuzz input.
+func quickCurve(sizes []uint16, mpkis []uint16) *curve.Curve {
+	n := len(sizes)
+	if len(mpkis) < n {
+		n = len(mpkis)
+	}
+	if n == 0 {
+		return nil
+	}
+	pts := make([]curve.Point, 0, n)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += float64(sizes[i]%1000) + 1
+		pts = append(pts, curve.Point{Size: x, MPKI: float64(mpkis[i] % 5000)})
+	}
+	return curve.MustNew(pts)
+}
+
+// Property: the hull is convex, lies on or below the curve everywhere,
+// keeps the endpoints, uses only original points, and is idempotent.
+func TestQuickHullInvariants(t *testing.T) {
+	f := func(sizes, mpkis []uint16) bool {
+		c := quickCurve(sizes, mpkis)
+		if c == nil {
+			return true
+		}
+		h := Lower(c)
+		// Convexity.
+		if !h.IsConvex(1e-9) {
+			return false
+		}
+		// Endpoints preserved.
+		if h.PointAt(0) != c.PointAt(0) || h.PointAt(h.NumPoints()-1) != c.PointAt(c.NumPoints()-1) {
+			return false
+		}
+		// Below or equal to the original at every original point.
+		for i := 0; i < c.NumPoints(); i++ {
+			p := c.PointAt(i)
+			if h.Eval(p.Size) > p.MPKI+1e-6 {
+				return false
+			}
+		}
+		// Hull vertices are original points.
+		orig := make(map[curve.Point]bool, c.NumPoints())
+		for i := 0; i < c.NumPoints(); i++ {
+			orig[c.PointAt(i)] = true
+		}
+		for i := 0; i < h.NumPoints(); i++ {
+			if !orig[h.PointAt(i)] {
+				return false
+			}
+		}
+		// Idempotence.
+		hh := Lower(h)
+		if hh.NumPoints() != h.NumPoints() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Neighbors returns a bracketing segment whose interpolation
+// matches the hull's own evaluation.
+func TestQuickNeighborsInterpolation(t *testing.T) {
+	f := func(sizes, mpkis []uint16, probeRaw uint16) bool {
+		c := quickCurve(sizes, mpkis)
+		if c == nil || c.NumPoints() < 2 {
+			return true
+		}
+		h := Lower(c)
+		span := h.MaxSize() - h.MinSize()
+		probe := h.MinSize() + span*float64(probeRaw)/65535
+		alpha, beta, ok := Neighbors(h, probe)
+		if !ok {
+			return true
+		}
+		if !(alpha.Size <= probe && probe < beta.Size) {
+			return false
+		}
+		rho := (beta.Size - probe) / (beta.Size - alpha.Size)
+		interp := rho*alpha.MPKI + (1-rho)*beta.MPKI
+		return math.Abs(interp-h.Eval(probe)) < 1e-6*(1+interp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"testing"
+
+	"talus/internal/curve"
+	"talus/internal/hash"
+	"talus/internal/policy"
+)
+
+func TestUMONDecayHalvesCounters(t *testing.T) {
+	u, err := NewUMON(4, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		u.Observe(uint64(i % 16))
+	}
+	before := u.SampledAccesses()
+	u.DecayCounters()
+	if got := u.SampledAccesses(); got != before/2 {
+		t.Fatalf("accesses after decay = %d, want %d", got, before/2)
+	}
+	// Tags stay warm: a resident line still hits.
+	u.Observe(15)
+}
+
+func TestUMONDecayPreservesCurveShape(t *testing.T) {
+	// A stationary stream: the curve after several decay cycles must
+	// match a fresh measurement (EWMA of a constant is the constant).
+	rng := hash.NewSplitMix64(2)
+	u, err := NewUMON(16, 32, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kilo float64
+	var effKilo float64
+	for cycle := 0; cycle < 6; cycle++ {
+		for i := 0; i < 200000; i++ {
+			u.Observe(rng.Uint64n(256))
+		}
+		kilo = 200000.0 / 10
+		effKilo = effKilo + kilo
+		if cycle < 5 {
+			u.DecayCounters()
+			effKilo /= 2
+		}
+	}
+	c, err := curve.New(u.Points(effKilo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 256-line working set fits easily in the 512-line monitor:
+	// MPKI beyond 256 lines ≈ 0; at size 0 ≈ APKI (10).
+	if got := c.Eval(0); got < 8 {
+		t.Errorf("m(0) = %g, want ≈ 10", got)
+	}
+	if got := c.Eval(400); got > 1 {
+		t.Errorf("m(400) = %g, want ≈ 0", got)
+	}
+}
+
+func TestLRUMonitorDecayAdaptsToPhaseChange(t *testing.T) {
+	// Phase 1: 2048-line working set. Phase 2: 128-line working set.
+	// With decay, the curve must converge toward phase 2's shape within a
+	// few intervals.
+	m, err := NewLRUMonitor(8192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.NewSplitMix64(5)
+	interval := 200000
+	kilo := float64(interval) / 10
+
+	feed := func(ws uint64) {
+		for i := 0; i < interval; i++ {
+			m.Observe(rng.Uint64n(ws))
+		}
+	}
+	var effKilo float64
+	// Phase 1: several intervals on the big working set.
+	for i := 0; i < 3; i++ {
+		feed(2048)
+		effKilo += kilo
+		m.DecayCounters()
+		effKilo /= 2
+	}
+	// Phase 2: small working set.
+	for i := 0; i < 5; i++ {
+		feed(128)
+		effKilo += kilo
+		if i < 4 {
+			m.DecayCounters()
+			effKilo /= 2
+		}
+	}
+	c, err := m.Curve(effKilo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly everything should fit within 256 lines now.
+	if got := c.Eval(256); got > 2.5 {
+		t.Errorf("after phase change m(256) = %g, want small", got)
+	}
+}
+
+func TestPolicyMonitorResetCounters(t *testing.T) {
+	pm, err := NewPolicyMonitor(2048, 512, 16, policy.LRUFactory, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		pm.Observe(uint64(i % 300))
+	}
+	pm.ResetCounters()
+	p := pm.Point(10)
+	if p.MPKI != 0 {
+		t.Fatalf("point after reset = %+v", p)
+	}
+	// Modeled size clamps to at least the monitor size.
+	pm2, err := NewPolicyMonitor(100, 512, 16, policy.LRUFactory, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm2.modeled != 100 {
+		t.Fatalf("modeled = %d", pm2.modeled)
+	}
+}

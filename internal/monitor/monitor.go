@@ -1,0 +1,431 @@
+// Package monitor implements the miss-curve monitors the paper relies on
+// for predictability (§II-C, §VI-C):
+//
+//   - UMON: a utility monitor (Qureshi & Patt, MICRO 2006) — a small,
+//     hash-sampled, fully-LRU auxiliary tag array with per-way hit
+//     counters. LRU's stack property makes one array yield the complete
+//     miss curve: a hit at LRU depth d would hit in any cache of more
+//     than d ways' worth of capacity.
+//   - Extended-coverage UMON: a second array sampling 16× fewer accesses,
+//     which by Theorem 4 models a proportionally larger cache — the
+//     paper's trick for seeing cliffs beyond the LLC size (libquantum's
+//     32 MB cliff from an 8 MB cache) with 16 ways.
+//   - PolicyMonitor / MultiMonitor: for non-stack policies (SRRIP), one
+//     small simulated cache per curve point, each at a different sampling
+//     rate — the paper's admittedly impractical 64-point monitors (Fig. 9)
+//     that demonstrate Talus is agnostic to replacement policy.
+//
+// Monitors observe the full (pre-Talus-sampling) access stream of one
+// logical partition and convert sampled hit/miss counts back to
+// full-stream miss curves by dividing by the sampling rate.
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"talus/internal/cache"
+	"talus/internal/curve"
+	"talus/internal/hash"
+	"talus/internal/partition"
+	"talus/internal/policy"
+)
+
+// UMON is a sampled LRU stack monitor: sets×ways tags, true LRU within
+// each set, hits bucketed by LRU depth. With sampling rate r (fraction of
+// the stream monitored), the array models a cache of sets·ways/r lines.
+type UMON struct {
+	sets, ways int
+	rate       float64 // fraction of accesses sampled
+	thresh     uint64  // sample iff hash(addr) < thresh
+	h          *hash.H3
+	setH       *hash.H3
+	tags       [][]uint64 // per set, MRU-first
+	sizes      []int      // valid entries per set
+	hitCtr     []int64    // hits by LRU depth
+	misses     int64
+	accesses   int64 // sampled accesses
+}
+
+// NewUMON builds a monitor with the given geometry and sampling rate
+// (0 < rate ≤ 1). The paper's configuration is 16 sets × 64 ways at
+// rate = 1024/LLC lines, plus an extended monitor at rate/16 with 16 ways.
+func NewUMON(sets, ways int, rate float64, seed uint64) (*UMON, error) {
+	if sets <= 0 || ways <= 0 || !(rate > 0 && rate <= 1) {
+		return nil, fmt.Errorf("monitor: bad UMON config %d×%d rate %g", sets, ways, rate)
+	}
+	u := &UMON{
+		sets: sets, ways: ways, rate: rate,
+		h:      hash.NewH3(seed^0x500D, 64),
+		setH:   hash.NewH3(seed^0x5E75, 64),
+		tags:   make([][]uint64, sets),
+		sizes:  make([]int, sets),
+		hitCtr: make([]int64, ways),
+	}
+	u.thresh = rateToThreshold(rate)
+	for i := range u.tags {
+		u.tags[i] = make([]uint64, ways)
+	}
+	return u, nil
+}
+
+// rateToThreshold converts a sampling fraction to a 64-bit hash threshold.
+func rateToThreshold(rate float64) uint64 {
+	if rate >= 1 {
+		return ^uint64(0)
+	}
+	return uint64(rate * float64(1<<63) * 2)
+}
+
+// Observe feeds one access to the monitor.
+func (u *UMON) Observe(addr uint64) {
+	if u.h.Hash(addr) >= u.thresh {
+		return
+	}
+	u.accesses++
+	set := hash.Reduce(u.setH.Hash(addr), u.sets)
+	tags := u.tags[set]
+	n := u.sizes[set]
+	for d := 0; d < n; d++ {
+		if tags[d] == addr {
+			u.hitCtr[d]++
+			copy(tags[1:d+1], tags[:d])
+			tags[0] = addr
+			return
+		}
+	}
+	u.misses++
+	if n < u.ways {
+		u.sizes[set] = n + 1
+	} else {
+		n = u.ways - 1
+	}
+	copy(tags[1:n+1], tags[:n])
+	tags[0] = addr
+}
+
+// ModeledCapacity returns the cache size in lines this monitor's deepest
+// way-point corresponds to.
+func (u *UMON) ModeledCapacity() int64 {
+	return int64(float64(u.sets*u.ways) / u.rate)
+}
+
+// SampledAccesses returns how many accesses passed the sampling filter.
+func (u *UMON) SampledAccesses() int64 { return u.accesses }
+
+// Points converts the counters to full-stream miss-curve points:
+// (0, all-miss) plus one point per way depth. kiloInstr is the number of
+// kilo-instructions over which the monitor observed the stream.
+func (u *UMON) Points(kiloInstr float64) []curve.Point {
+	if kiloInstr <= 0 || u.accesses == 0 {
+		return nil
+	}
+	scale := 1 / u.rate / kiloInstr
+	total := float64(u.accesses)
+	pts := make([]curve.Point, 0, u.ways+1)
+	pts = append(pts, curve.Point{Size: 0, MPKI: total * scale})
+	wayLines := float64(u.ModeledCapacity()) / float64(u.ways)
+	cumHits := 0.0
+	for d := 0; d < u.ways; d++ {
+		cumHits += float64(u.hitCtr[d])
+		pts = append(pts, curve.Point{
+			Size: wayLines * float64(d+1),
+			MPKI: (total - cumHits) * scale,
+		})
+	}
+	return pts
+}
+
+// ResetCounters clears hit/miss counters but keeps resident tags, so the
+// next interval starts warm (as hardware UMONs do between
+// reconfigurations).
+func (u *UMON) ResetCounters() {
+	for i := range u.hitCtr {
+		u.hitCtr[i] = 0
+	}
+	u.misses = 0
+	u.accesses = 0
+}
+
+// DecayCounters halves all counters, implementing an exponential moving
+// average across reconfiguration intervals. Short intervals see too few
+// sampled accesses for a stable curve; decaying instead of resetting
+// integrates history with a one-interval half-life, matching Assumption 1
+// (curves change slowly relative to the interval).
+func (u *UMON) DecayCounters() {
+	for i := range u.hitCtr {
+		u.hitCtr[i] /= 2
+	}
+	u.misses /= 2
+	u.accesses /= 2
+}
+
+// Reset clears everything including tags.
+func (u *UMON) Reset() {
+	u.ResetCounters()
+	for i := range u.sizes {
+		u.sizes[i] = 0
+	}
+}
+
+// LRUMonitor combines three UMONs into one miss curve spanning LLC/4 to
+// 4× the LLC: the conventional monitor, the paper's extended-coverage
+// monitor (§VI-C "Miss curve coverage"), and a *sub-range* monitor
+// applying the same Theorem-4 trick downward — sampling 4× more of the
+// stream to model LLC/4 with 4× finer way granularity. The sub-range
+// monitor matters in partitioned caches, where a partition's allocation
+// is often a small fraction of the LLC and the conventional monitor's
+// LLC/64 granularity would smear any cliff there.
+type LRUMonitor struct {
+	sub    *UMON
+	fine   *UMON
+	coarse *UMON
+	llc    int64
+}
+
+// Monitor geometry. The paper's hardware UMON is 16 sets × 64 ways (1K
+// lines); these software monitors use 64 sets × 64 ways, and the extended
+// monitor keeps the paper's 4× LLC coverage but with 64 ways at rate/4
+// instead of 16 ways at rate/16. Both changes preserve the monitoring
+// *algorithm* and coverage while reducing the per-set Poisson noise that
+// smears cliff positions — noise hardware tolerates by averaging over
+// much longer (10 ms) intervals than short simulated epochs allow. See
+// DESIGN.md §7.
+const (
+	umonWays       = 64
+	umonSets       = 64
+	umonCoarseWays = 64
+	coverageFactor = 4
+)
+
+// NewLRUMonitor builds the monitor bank for an LLC of llcLines.
+func NewLRUMonitor(llcLines int64, seed uint64) (*LRUMonitor, error) {
+	if llcLines <= 0 {
+		return nil, fmt.Errorf("monitor: bad LLC size %d", llcLines)
+	}
+	fineRate := float64(umonSets*umonWays) / float64(llcLines)
+	if fineRate > 1 {
+		fineRate = 1
+	}
+	subRate := fineRate * coverageFactor
+	if subRate > 1 {
+		subRate = 1
+	}
+	coarseRate := fineRate / coverageFactor
+	sub, err := NewUMON(umonSets, umonWays, subRate, seed^0x5B5B)
+	if err != nil {
+		return nil, err
+	}
+	fine, err := NewUMON(umonSets, umonWays, fineRate, seed)
+	if err != nil {
+		return nil, err
+	}
+	coarse, err := NewUMON(umonSets, umonCoarseWays, coarseRate, seed^0xC0A25E)
+	if err != nil {
+		return nil, err
+	}
+	return &LRUMonitor{sub: sub, fine: fine, coarse: coarse, llc: llcLines}, nil
+}
+
+// Observe feeds one access to all monitors.
+func (m *LRUMonitor) Observe(addr uint64) {
+	m.sub.Observe(addr)
+	m.fine.Observe(addr)
+	m.coarse.Observe(addr)
+}
+
+// Curve assembles the combined miss curve: sub-range points up to LLC/4,
+// fine points up to the LLC size, coarse points beyond. The result is
+// forced non-increasing (LRU's stack property guarantees monotonicity;
+// sampling noise between the arrays must not manufacture fake cliffs).
+func (m *LRUMonitor) Curve(kiloInstr float64) (*curve.Curve, error) {
+	subPts := m.sub.Points(kiloInstr)
+	finePts := m.fine.Points(kiloInstr)
+	coarsePts := m.coarse.Points(kiloInstr)
+	if subPts == nil && finePts == nil && coarsePts == nil {
+		return nil, fmt.Errorf("monitor: no observations")
+	}
+	pts := make([]curve.Point, 0, len(subPts)+len(finePts)+len(coarsePts))
+	max := 0.0
+	for _, p := range subPts {
+		pts = append(pts, p)
+		if p.Size > max {
+			max = p.Size
+		}
+	}
+	for _, p := range finePts {
+		if p.Size > max {
+			pts = append(pts, p)
+			max = p.Size
+		}
+	}
+	for _, p := range coarsePts {
+		if p.Size > max {
+			pts = append(pts, p)
+			max = p.Size
+		}
+	}
+	// Enforce monotone non-increasing MPKI with a running max from the
+	// right. Clamping left-to-right would accumulate sampling noise into
+	// an artificial downward ramp across plateaus — gradient that would
+	// let hill climbing "climb" a cliff that is really flat. Taking the
+	// suffix max instead keeps noisy plateaus flat and leaves genuine
+	// drops (cliffs) intact.
+	for i := len(pts) - 2; i >= 0; i-- {
+		if pts[i].MPKI < pts[i+1].MPKI {
+			pts[i].MPKI = pts[i+1].MPKI
+		}
+	}
+	return curve.New(pts)
+}
+
+// ResetCounters starts a new measurement interval (tags stay warm).
+func (m *LRUMonitor) ResetCounters() {
+	m.sub.ResetCounters()
+	m.fine.ResetCounters()
+	m.coarse.ResetCounters()
+}
+
+// DecayCounters halves all monitors' counters (see UMON.DecayCounters).
+func (m *LRUMonitor) DecayCounters() {
+	m.sub.DecayCounters()
+	m.fine.DecayCounters()
+	m.coarse.DecayCounters()
+}
+
+// PolicyMonitor models one point of a non-stack policy's miss curve: a
+// small simulated cache running the policy on a sampled stream. By
+// Theorem 4, a monitor of monLines lines at sampling rate r models a
+// cache of monLines/r lines.
+type PolicyMonitor struct {
+	c        *cache.SetAssoc
+	thresh   uint64
+	h        *hash.H3
+	rate     float64
+	modeled  int64
+	accesses int64
+	misses   int64
+}
+
+// NewPolicyMonitor builds a monitor modeling modeledLines of cache using a
+// monLines-line array with the given policy.
+func NewPolicyMonitor(modeledLines, monLines int64, assoc int, factory policy.Factory, seed uint64) (*PolicyMonitor, error) {
+	if monLines > modeledLines {
+		monLines = modeledLines // never sample above rate 1
+	}
+	rate := float64(monLines) / float64(modeledLines)
+	c, err := cache.NewSetAssoc(monLines, assoc, partition.NewNone(1), factory, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &PolicyMonitor{
+		c:       c,
+		thresh:  rateToThreshold(rate),
+		h:       hash.NewH3(seed^0x9017, 64),
+		rate:    rate,
+		modeled: modeledLines,
+	}, nil
+}
+
+// Observe feeds one access.
+func (pm *PolicyMonitor) Observe(addr uint64) {
+	pm.ObserveHashed(addr, pm.h.Hash(addr))
+}
+
+// ObserveHashed feeds one access with a precomputed sampling hash, letting
+// a monitor bank hash each address once. Sharing the hash nests the
+// monitors' sampled sets (rate r2 < r1 samples a subset of r1's
+// addresses), which Theorem 4 is indifferent to: each subset is still a
+// statistically self-similar stream.
+func (pm *PolicyMonitor) ObserveHashed(addr, hashVal uint64) {
+	if hashVal >= pm.thresh {
+		return
+	}
+	pm.accesses++
+	if !pm.c.Access(addr, 0) {
+		pm.misses++
+	}
+}
+
+// Point returns this monitor's miss-curve point.
+func (pm *PolicyMonitor) Point(kiloInstr float64) curve.Point {
+	if pm.accesses == 0 || kiloInstr <= 0 {
+		return curve.Point{Size: float64(pm.modeled), MPKI: 0}
+	}
+	return curve.Point{
+		Size: float64(pm.modeled),
+		MPKI: float64(pm.misses) / pm.rate / kiloInstr,
+	}
+}
+
+// ResetCounters starts a new interval.
+func (pm *PolicyMonitor) ResetCounters() {
+	pm.accesses = 0
+	pm.misses = 0
+	pm.c.ResetStats()
+}
+
+// MultiMonitor is a bank of PolicyMonitors sampling at different rates to
+// assemble a full miss curve for a policy without the stack property
+// (§VI-C "Other replacement policies"). The paper notes this costs 256 KB
+// per core for 64 points — impractical in hardware, but exactly what is
+// needed to show Talus works on SRRIP (Fig. 9).
+type MultiMonitor struct {
+	mons []*PolicyMonitor
+}
+
+// NewMultiMonitor builds points monitors with modeled sizes spaced
+// linearly up to maxLines.
+func NewMultiMonitor(maxLines int64, points int, monLines int64, assoc int, factory policy.Factory, seed uint64) (*MultiMonitor, error) {
+	if points < 2 {
+		return nil, fmt.Errorf("monitor: need at least 2 points, got %d", points)
+	}
+	mm := &MultiMonitor{mons: make([]*PolicyMonitor, points)}
+	rng := hash.NewSplitMix64(seed)
+	for i := 0; i < points; i++ {
+		modeled := int64(math.Round(float64(maxLines) * float64(i+1) / float64(points)))
+		if modeled < monLines {
+			modeled = monLines
+		}
+		pm, err := NewPolicyMonitor(modeled, monLines, assoc, factory, rng.Next())
+		if err != nil {
+			return nil, err
+		}
+		mm.mons[i] = pm
+	}
+	return mm, nil
+}
+
+// Observe feeds one access to every monitor, hashing once.
+func (mm *MultiMonitor) Observe(addr uint64) {
+	h := mm.mons[0].h.Hash(addr)
+	for _, pm := range mm.mons {
+		pm.ObserveHashed(addr, h)
+	}
+}
+
+// Curve assembles the measured points, prepending an all-miss point at
+// size 0 estimated from the densest monitor's access rate.
+func (mm *MultiMonitor) Curve(kiloInstr float64) (*curve.Curve, error) {
+	pts := make([]curve.Point, 0, len(mm.mons)+1)
+	// Size-0 point: every access misses.
+	apki := float64(mm.mons[0].accesses) / mm.mons[0].rate / kiloInstr
+	pts = append(pts, curve.Point{Size: 0, MPKI: apki})
+	lastSize := 0.0
+	for _, pm := range mm.mons {
+		p := pm.Point(kiloInstr)
+		if p.Size <= lastSize {
+			continue // collapsed small sizes clamp to monLines; keep first
+		}
+		lastSize = p.Size
+		pts = append(pts, p)
+	}
+	return curve.New(pts)
+}
+
+// ResetCounters starts a new interval on all monitors.
+func (mm *MultiMonitor) ResetCounters() {
+	for _, pm := range mm.mons {
+		pm.ResetCounters()
+	}
+}

@@ -1,0 +1,289 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestApportionSums(t *testing.T) {
+	cases := []struct {
+		sizes []int64
+		total int
+	}{
+		{[]int64{1, 1, 1}, 10},
+		{[]int64{0, 0}, 7},
+		{[]int64{100, 200, 700}, 32},
+		{[]int64{5}, 3},
+		{[]int64{1, 1000000}, 16},
+	}
+	for _, tc := range cases {
+		got := apportion(tc.sizes, tc.total)
+		sum := 0
+		for _, g := range got {
+			if g < 0 {
+				t.Fatalf("apportion(%v,%d) negative share: %v", tc.sizes, tc.total, got)
+			}
+			sum += g
+		}
+		if sum != tc.total {
+			t.Fatalf("apportion(%v,%d) sums to %d: %v", tc.sizes, tc.total, sum, got)
+		}
+	}
+}
+
+func TestApportionProportional(t *testing.T) {
+	got := apportion([]int64{100, 300}, 4)
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("apportion = %v, want [1 3]", got)
+	}
+}
+
+func TestQuickApportion(t *testing.T) {
+	f := func(raw []uint16, totalRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sizes := make([]int64, len(raw))
+		for i, r := range raw {
+			sizes[i] = int64(r)
+		}
+		total := int(totalRaw)
+		got := apportion(sizes, total)
+		sum := 0
+		for _, g := range got {
+			if g < 0 {
+				return false
+			}
+			sum += g
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWayPartitionRanges(t *testing.T) {
+	s := NewWay(2)
+	if err := s.Configure(64, 16); err != nil {
+		t.Fatal(err)
+	}
+	if s.WaysOf(0)+s.WaysOf(1) != 16 {
+		t.Fatal("default ways must cover the cache")
+	}
+	// 25% / 75% split.
+	if err := s.SetTargets([]int64{256, 768}); err != nil {
+		t.Fatal(err)
+	}
+	if s.WaysOf(0) != 4 || s.WaysOf(1) != 12 {
+		t.Fatalf("ways = %d/%d, want 4/12", s.WaysOf(0), s.WaysOf(1))
+	}
+	// Candidates must be disjoint way ranges.
+	buf := make([]int, 0, 16)
+	c0 := append([]int(nil), s.Candidates(0, 0, nil, buf[:0])...)
+	c1 := append([]int(nil), s.Candidates(0, 1, nil, buf[:0])...)
+	if len(c0) != 4 || len(c1) != 12 {
+		t.Fatalf("candidate counts %d/%d", len(c0), len(c1))
+	}
+	seen := map[int]bool{}
+	for _, w := range append(c0, c1...) {
+		if seen[w] {
+			t.Fatalf("way %d in both partitions", w)
+		}
+		seen[w] = true
+	}
+	if s.GranuleLines() != 64 {
+		t.Fatalf("granule = %d, want sets (64)", s.GranuleLines())
+	}
+}
+
+func TestWayPartitionZeroTarget(t *testing.T) {
+	s := NewWay(2)
+	if err := s.Configure(16, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTargets([]int64{0, 128}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Candidates(0, 0, nil, nil)); got != 0 {
+		t.Fatalf("zero-way partition has %d candidates, want 0", got)
+	}
+}
+
+func TestSetPartitionRanges(t *testing.T) {
+	s := NewSet(2)
+	if err := s.Configure(96, 4); err != nil {
+		t.Fatal(err)
+	}
+	// 1:2 split as in the paper's Fig. 2 worked example.
+	if err := s.SetTargets([]int64{128, 256}); err != nil {
+		t.Fatal(err)
+	}
+	if s.SetsOf(0) != 32 || s.SetsOf(1) != 64 {
+		t.Fatalf("sets = %d/%d, want 32/64", s.SetsOf(0), s.SetsOf(1))
+	}
+	// Partition 0 indexes only [0,32); partition 1 only [32,96).
+	for h := uint64(0); h < 1000; h++ {
+		if set := s.SetIndex(h, 0); set < 0 || set >= 32 {
+			t.Fatalf("part 0 mapped to set %d", set)
+		}
+		if set := s.SetIndex(h, 1); set < 32 || set >= 96 {
+			t.Fatalf("part 1 mapped to set %d", set)
+		}
+	}
+	if s.GranuleLines() != 4 {
+		t.Fatalf("granule = %d, want assoc (4)", s.GranuleLines())
+	}
+}
+
+func TestVantageSelectsOverQuota(t *testing.T) {
+	s := NewVantage(2)
+	if err := s.Configure(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTargets([]int64{8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Partition 0 over quota (12 lines), partition 1 under (4).
+	for i := 0; i < 12; i++ {
+		s.OnFill(0)
+	}
+	for i := 0; i < 4; i++ {
+		s.OnFill(1)
+	}
+	owners := []int16{0, 0, 1, 1}
+	cands := s.Candidates(0, 1, owners, nil)
+	for _, w := range cands {
+		if owners[w] != 0 {
+			t.Fatalf("victim way %d belongs to partition %d, want over-quota 0", w, owners[w])
+		}
+	}
+}
+
+func TestVantagePrefersFreeWays(t *testing.T) {
+	s := NewVantage(2)
+	if err := s.Configure(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTargets([]int64{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	owners := []int16{0, -1, 1, -1}
+	cands := s.Candidates(0, 0, owners, nil)
+	if len(cands) != 2 {
+		t.Fatalf("free-way candidates = %v", cands)
+	}
+	for _, w := range cands {
+		if owners[w] != -1 {
+			t.Fatalf("candidate %d not free", w)
+		}
+	}
+}
+
+func TestVantageAllUnderQuota(t *testing.T) {
+	s := NewVantage(2)
+	if err := s.Configure(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTargets([]int64{100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	s.OnFill(0)
+	s.OnFill(1)
+	owners := []int16{0, 0, 1, 1}
+	cands := s.Candidates(0, 0, owners, nil)
+	if len(cands) != 4 {
+		t.Fatalf("under-quota fallback should allow all ways, got %v", cands)
+	}
+}
+
+func TestVantagePartitionableFraction(t *testing.T) {
+	s := NewVantage(1)
+	if got := s.PartitionableFraction(); got != 0.9 {
+		t.Fatalf("fraction = %g, want 0.9", got)
+	}
+}
+
+func TestOccupancyAccounting(t *testing.T) {
+	s := NewVantage(2)
+	if err := s.Configure(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	s.OnFill(0)
+	s.OnFill(0)
+	s.OnEvict(0)
+	s.OnFill(1)
+	if s.Occupancy(0) != 1 || s.Occupancy(1) != 1 {
+		t.Fatalf("occupancy = %d/%d", s.Occupancy(0), s.Occupancy(1))
+	}
+	s.Reset()
+	if s.Occupancy(0) != 0 {
+		t.Fatal("Reset must clear occupancy")
+	}
+}
+
+func TestSetTargetsValidation(t *testing.T) {
+	schemes := []Scheme{NewNone(2), NewWay(2), NewSet(2), NewVantage(2)}
+	for _, s := range schemes {
+		if err := s.Configure(16, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetTargets([]int64{1}); err == nil {
+			t.Errorf("%s: wrong target count accepted", s.Name())
+		}
+		if err := s.SetTargets([]int64{-1, 5}); err == nil {
+			t.Errorf("%s: negative target accepted", s.Name())
+		}
+		if err := s.SetTargets([]int64{32, 32}); err != nil {
+			t.Errorf("%s: valid targets rejected: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestUnconfiguredRejected(t *testing.T) {
+	w := NewWay(2)
+	if err := w.SetTargets([]int64{1, 1}); err == nil {
+		t.Fatal("unconfigured way scheme must reject targets")
+	}
+	st := NewSet(2)
+	if err := st.SetTargets([]int64{1, 1}); err == nil {
+		t.Fatal("unconfigured set scheme must reject targets")
+	}
+	v := NewVantage(2)
+	if err := v.SetTargets([]int64{1, 1}); err == nil {
+		t.Fatal("unconfigured vantage scheme must reject targets")
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	if err := NewNone(1).Configure(0, 4); err == nil {
+		t.Fatal("zero sets must be rejected")
+	}
+	if err := NewNone(1).Configure(4, 0); err == nil {
+		t.Fatal("zero assoc must be rejected")
+	}
+}
+
+func TestFutilityFullyPartitionable(t *testing.T) {
+	s := NewFutility(2)
+	if s.Name() != "futility" {
+		t.Fatalf("name = %s", s.Name())
+	}
+	if got := s.PartitionableFraction(); got != 1.0 {
+		t.Fatalf("futility fraction = %g, want 1.0 (no unmanaged region)", got)
+	}
+	if err := s.Configure(16, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Default targets must cover the whole cache (vs Vantage's 90%).
+	if got := s.Target(0) + s.Target(1); got != 64 {
+		t.Fatalf("default targets sum to %d, want 64", got)
+	}
+	// Inherits Vantage's enforcement: zero-target partitions bypass.
+	if err := s.SetTargets([]int64{0, 64}); err != nil {
+		t.Fatal(err)
+	}
+	if cands := s.Candidates(0, 0, []int16{1, 1, 1, 1}, nil); len(cands) != 0 {
+		t.Fatalf("zero-target fill should bypass, got %v", cands)
+	}
+}

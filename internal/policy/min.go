@@ -1,0 +1,84 @@
+// Offline Belady MIN replacement (Belady 1966), used to validate
+// Corollary 7: optimal cache replacement is convex. MIN requires future
+// knowledge, so it is not a Policy; it runs over a recorded trace in two
+// passes (next-use precomputation, then simulation).
+
+package policy
+
+import "container/heap"
+
+// SimulateMIN returns the number of misses a fully-associative cache of
+// the given capacity (in lines) incurs on trace under Belady's MIN policy,
+// which always evicts the line whose next use is farthest in the future
+// (never-reused lines first). capacity must be positive.
+//
+// A fully-associative model is exact for MIN and sidesteps set-mapping
+// noise; Corollary 7's convexity claim is about capacity, which
+// Assumption 2 says is the dominant factor.
+func SimulateMIN(trace []uint64, capacity int) int {
+	if capacity <= 0 {
+		return len(trace)
+	}
+	// Pass 1: next-use index for every position (len(trace) = never).
+	next := make([]int, len(trace))
+	last := make(map[uint64]int, capacity*2)
+	for i := len(trace) - 1; i >= 0; i-- {
+		a := trace[i]
+		if j, ok := last[a]; ok {
+			next[i] = j
+		} else {
+			next[i] = len(trace)
+		}
+		last[a] = i
+	}
+
+	// Pass 2: simulate with a max-heap on next use, lazily invalidating
+	// stale entries (a line's heap entry is stale once the line has been
+	// re-accessed, because a fresher entry with a later key exists).
+	h := &minHeap{}
+	resident := make(map[uint64]int, capacity*2) // addr → its current nextUse
+	misses := 0
+	for i, a := range trace {
+		if nu, ok := resident[a]; ok && nu == i {
+			// Hit: refresh the line's next use.
+			resident[a] = next[i]
+			heap.Push(h, minEntry{a, next[i]})
+			continue
+		}
+		misses++
+		if len(resident) >= capacity {
+			// Evict the line with the farthest valid next use.
+			for {
+				top := heap.Pop(h).(minEntry)
+				if nu, ok := resident[top.addr]; ok && nu == top.nextUse {
+					delete(resident, top.addr)
+					break
+				}
+			}
+		}
+		resident[a] = next[i]
+		heap.Push(h, minEntry{a, next[i]})
+	}
+	return misses
+}
+
+// minEntry is a (line, next use) pair in the MIN eviction heap.
+type minEntry struct {
+	addr    uint64
+	nextUse int
+}
+
+// minHeap is a max-heap of minEntry ordered by nextUse.
+type minHeap []minEntry
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].nextUse > h[j].nextUse }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(minEntry)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"talus/internal/hash"
+)
+
+func TestMINKnownTrace(t *testing.T) {
+	// Classic example: a b c d a b c d with capacity 3.
+	// MIN: misses a b c d (d evicts the line reused farthest: c),
+	// then a,b hit, c misses, d hits → 5 misses.
+	trace := []uint64{1, 2, 3, 4, 1, 2, 3, 4}
+	if got := SimulateMIN(trace, 3); got != 5 {
+		t.Fatalf("MIN misses = %d, want 5", got)
+	}
+}
+
+func TestMINFullFit(t *testing.T) {
+	trace := []uint64{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	if got := SimulateMIN(trace, 3); got != 3 {
+		t.Fatalf("MIN misses = %d, want 3 (compulsory only)", got)
+	}
+}
+
+func TestMINZeroCapacity(t *testing.T) {
+	trace := []uint64{1, 1, 1}
+	if got := SimulateMIN(trace, 0); got != 3 {
+		t.Fatalf("MIN with no cache should miss everything, got %d", got)
+	}
+}
+
+func TestMINCyclicScanBounds(t *testing.T) {
+	// A cyclic scan of N lines under MIN with capacity C hits between
+	// C−1 and C lines per lap after warmup (keeping ~C−1 lines across a
+	// lap boundary; Belady rotates which lines are kept) — unlike LRU
+	// which hits zero. This is the theoretical basis for the
+	// optimal-bypassing comparison (§V-C).
+	const n, c, laps = 64, 16, 50
+	trace := make([]uint64, 0, n*laps)
+	for l := 0; l < laps; l++ {
+		for i := uint64(0); i < n; i++ {
+			trace = append(trace, i)
+		}
+	}
+	misses := SimulateMIN(trace, c)
+	// At most C hits per steady lap; at least C−1.
+	lower := n + (laps-1)*(n-c)
+	upper := n + (laps-1)*(n-(c-1))
+	if misses < lower || misses > upper {
+		t.Fatalf("MIN scan misses = %d, want within [%d, %d]", misses, lower, upper)
+	}
+	// And MIN must beat LRU decisively: LRU gets zero hits on this scan.
+	if lru := lruMisses(trace, c); misses >= lru {
+		t.Fatalf("MIN (%d) should beat LRU (%d) on a cyclic scan", misses, lru)
+	}
+}
+
+// lruMisses simulates fully-associative LRU for reference.
+func lruMisses(trace []uint64, capacity int) int {
+	type node struct {
+		addr       uint64
+		prev, next *node
+	}
+	m := make(map[uint64]*node)
+	var head, tail *node
+	unlink := func(n *node) {
+		if n.prev != nil {
+			n.prev.next = n.next
+		} else {
+			head = n.next
+		}
+		if n.next != nil {
+			n.next.prev = n.prev
+		} else {
+			tail = n.prev
+		}
+		n.prev, n.next = nil, nil
+	}
+	pushFront := func(n *node) {
+		n.next = head
+		if head != nil {
+			head.prev = n
+		}
+		head = n
+		if tail == nil {
+			tail = n
+		}
+	}
+	misses := 0
+	for _, a := range trace {
+		if n, ok := m[a]; ok {
+			unlink(n)
+			pushFront(n)
+			continue
+		}
+		misses++
+		if capacity <= 0 {
+			continue
+		}
+		n := &node{addr: a}
+		m[a] = n
+		pushFront(n)
+		if len(m) > capacity {
+			v := tail
+			unlink(v)
+			delete(m, v.addr)
+		}
+	}
+	return misses
+}
+
+// Property: MIN never misses more than LRU (optimality against a valid
+// online policy), and misses at least the number of distinct lines.
+func TestQuickMINOptimality(t *testing.T) {
+	f := func(seed uint64, capRaw, lenRaw uint8) bool {
+		capacity := int(capRaw%32) + 1
+		length := int(lenRaw)*4 + 64
+		rng := hash.NewSplitMix64(seed)
+		trace := make([]uint64, length)
+		distinct := map[uint64]bool{}
+		for i := range trace {
+			trace[i] = rng.Uint64n(64)
+			distinct[trace[i]] = true
+		}
+		minMiss := SimulateMIN(trace, capacity)
+		if minMiss > lruMisses(trace, capacity) {
+			return false
+		}
+		return minMiss >= len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Corollary 7): MIN's miss counts are convex in capacity.
+func TestQuickMINConvexity(t *testing.T) {
+	f := func(seed uint64, mode uint8) bool {
+		rng := hash.NewSplitMix64(seed)
+		const length = 3000
+		trace := make([]uint64, length)
+		switch mode % 3 {
+		case 0: // random over 64 lines
+			for i := range trace {
+				trace[i] = rng.Uint64n(64)
+			}
+		case 1: // cyclic scan of 48 lines (cliffy under LRU)
+			for i := range trace {
+				trace[i] = uint64(i % 48)
+			}
+		default: // mixture
+			for i := range trace {
+				if rng.Float64() < 0.5 {
+					trace[i] = uint64(i % 40)
+				} else {
+					trace[i] = 100 + rng.Uint64n(30)
+				}
+			}
+		}
+		// Misses at capacities 1..40 must form a convex sequence.
+		misses := make([]int, 41)
+		for c := 1; c <= 40; c++ {
+			misses[c] = SimulateMIN(trace, c)
+		}
+		for c := 2; c < 40; c++ {
+			// Convexity: m(c-1) + m(c+1) ≥ 2·m(c).
+			if misses[c-1]+misses[c+1] < 2*misses[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package policy implements the cache replacement policies the paper
+// evaluates: LRU, SRRIP/BRRIP/DRRIP (Jaleel et al., ISCA 2010, including
+// the thread-aware TA-DRRIP variant), DIP (Qureshi et al., ISCA 2007),
+// PDP (Duong et al., MICRO 2012), Random, and offline Belady MIN.
+//
+// A Policy is a per-cache state machine operating on global line indices
+// (set·assoc + way). The cache array calls Hit when an access hits, Victim
+// to choose an eviction candidate on a miss, and Fill after inserting the
+// new line. Victim may return -1 to bypass the fill entirely (PDP does
+// this when every candidate is protected), in which case the access counts
+// as a miss but no line is replaced.
+//
+// Policies deliberately know nothing about partitioning: the cache hands
+// them whatever candidate set the partitioning scheme allows, and their
+// per-line metadata is globally comparable (e.g., LRU timestamps), so a
+// policy ranks victims correctly within any candidate subset. This is what
+// lets one policy serve way, set, and Vantage-style partitioning unchanged.
+package policy
+
+import (
+	"talus/internal/hash"
+)
+
+// AccessContext carries the side information some policies need: the line
+// address being accessed (for PDP's reuse-distance sampler), the set (for
+// set dueling and per-set aging), and the thread (logical partition)
+// performing the access (for thread-aware dueling).
+type AccessContext struct {
+	Addr   uint64
+	Set    int
+	Thread int
+}
+
+// Policy is a replacement policy over a fixed geometry of sets×assoc lines.
+type Policy interface {
+	// Name identifies the policy in reports ("LRU", "DRRIP", ...).
+	Name() string
+	// Hit notifies that line idx was accessed and hit.
+	Hit(idx int, ctx AccessContext)
+	// Victim picks which of candidates (valid line indices) to evict, or
+	// returns -1 to bypass the incoming line. candidates is never empty.
+	Victim(candidates []int, ctx AccessContext) int
+	// Fill notifies that line idx was just filled with a new line.
+	Fill(idx int, ctx AccessContext)
+	// Reset clears all replacement state (used when a cache is flushed).
+	Reset()
+}
+
+// Factory constructs a policy for a cache with the given geometry.
+// Policies needing randomness derive it deterministically from seed.
+type Factory func(sets, assoc int, seed uint64) Policy
+
+// --- LRU -------------------------------------------------------------
+
+// LRU is the least-recently-used policy: a global logical clock stamps
+// every touch, and the victim is the candidate with the oldest stamp.
+// Stamps are globally comparable, so LRU ranks victims correctly within
+// any partition's candidate subset.
+type LRU struct {
+	clock uint64
+	ts    []uint64
+}
+
+// NewLRU returns an LRU policy for sets×assoc lines.
+func NewLRU(sets, assoc int, _ uint64) *LRU {
+	return &LRU{ts: make([]uint64, sets*assoc)}
+}
+
+// LRUFactory adapts NewLRU to the Factory signature.
+func LRUFactory(sets, assoc int, seed uint64) Policy { return NewLRU(sets, assoc, seed) }
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// Hit implements Policy: touching a line makes it most-recently used.
+func (p *LRU) Hit(idx int, _ AccessContext) {
+	p.clock++
+	p.ts[idx] = p.clock
+}
+
+// Fill implements Policy: new lines are inserted at MRU.
+func (p *LRU) Fill(idx int, _ AccessContext) {
+	p.clock++
+	p.ts[idx] = p.clock
+}
+
+// Victim implements Policy: evict the least recently used candidate.
+func (p *LRU) Victim(candidates []int, _ AccessContext) int {
+	best := candidates[0]
+	bestTS := p.ts[best]
+	for _, idx := range candidates[1:] {
+		if p.ts[idx] < bestTS {
+			best, bestTS = idx, p.ts[idx]
+		}
+	}
+	return best
+}
+
+// Reset implements Policy.
+func (p *LRU) Reset() {
+	p.clock = 0
+	for i := range p.ts {
+		p.ts[i] = 0
+	}
+}
+
+// Timestamp exposes a line's LRU stamp; the DIP insertion variants and
+// tests use it.
+func (p *LRU) Timestamp(idx int) uint64 { return p.ts[idx] }
+
+// --- Random ----------------------------------------------------------
+
+// Random evicts a uniformly random candidate. It serves as a baseline and
+// as a stress test for the partitioning machinery (Assumption 2 holds for
+// random replacement too).
+type Random struct {
+	rng *hash.SplitMix64
+}
+
+// NewRandom returns a Random policy seeded deterministically.
+func NewRandom(_, _ int, seed uint64) *Random {
+	return &Random{rng: hash.NewSplitMix64(seed)}
+}
+
+// RandomFactory adapts NewRandom to the Factory signature.
+func RandomFactory(sets, assoc int, seed uint64) Policy { return NewRandom(sets, assoc, seed) }
+
+// Name implements Policy.
+func (p *Random) Name() string { return "Random" }
+
+// Hit implements Policy (random replacement keeps no per-line state).
+func (p *Random) Hit(int, AccessContext) {}
+
+// Fill implements Policy.
+func (p *Random) Fill(int, AccessContext) {}
+
+// Victim implements Policy.
+func (p *Random) Victim(candidates []int, _ AccessContext) int {
+	return candidates[p.rng.Intn(len(candidates))]
+}
+
+// Reset implements Policy.
+func (p *Random) Reset() {}

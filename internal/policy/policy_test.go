@@ -1,0 +1,243 @@
+package policy
+
+import (
+	"testing"
+
+	"talus/internal/hash"
+)
+
+// ctxFor builds an AccessContext for set 0.
+func ctx(addr uint64) AccessContext { return AccessContext{Addr: addr, Set: 0} }
+
+func TestLRUVictimOrder(t *testing.T) {
+	p := NewLRU(1, 4, 0)
+	cands := []int{0, 1, 2, 3}
+	for i := 0; i < 4; i++ {
+		p.Fill(i, ctx(uint64(i)))
+	}
+	// Touch 0 and 2; oldest is now 1.
+	p.Hit(0, ctx(0))
+	p.Hit(2, ctx(2))
+	if v := p.Victim(cands, ctx(9)); v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+	p.Hit(1, ctx(1))
+	if v := p.Victim(cands, ctx(9)); v != 3 {
+		t.Fatalf("victim = %d, want 3", v)
+	}
+}
+
+func TestLRUVictimSubset(t *testing.T) {
+	// Partitioning hands LRU arbitrary candidate subsets; stamps must
+	// rank correctly within any subset.
+	p := NewLRU(1, 4, 0)
+	for i := 0; i < 4; i++ {
+		p.Fill(i, ctx(uint64(i)))
+	}
+	if v := p.Victim([]int{2, 3}, ctx(9)); v != 2 {
+		t.Fatalf("subset victim = %d, want 2", v)
+	}
+}
+
+func TestLRUReset(t *testing.T) {
+	p := NewLRU(1, 2, 0)
+	p.Fill(0, ctx(0))
+	p.Fill(1, ctx(1))
+	p.Reset()
+	if p.Timestamp(0) != 0 || p.Timestamp(1) != 0 {
+		t.Fatal("Reset must clear stamps")
+	}
+}
+
+func TestRandomVictimInCandidates(t *testing.T) {
+	p := NewRandom(1, 8, 42)
+	cands := []int{3, 5, 7}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		v := p.Victim(cands, ctx(0))
+		if v != 3 && v != 5 && v != 7 {
+			t.Fatalf("victim %d not a candidate", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("random victim never chose all candidates: %v", seen)
+	}
+}
+
+func TestSRRIPInsertionAndPromotion(t *testing.T) {
+	p := NewSRRIP(1, 4, 0)
+	p.Fill(0, ctx(0))
+	if p.rrpv[0] != rripMax-1 {
+		t.Fatalf("fill rrpv = %d, want %d", p.rrpv[0], rripMax-1)
+	}
+	p.Hit(0, ctx(0))
+	if p.rrpv[0] != 0 {
+		t.Fatalf("hit rrpv = %d, want 0", p.rrpv[0])
+	}
+}
+
+func TestSRRIPVictimAging(t *testing.T) {
+	p := NewSRRIP(1, 4, 0)
+	cands := []int{0, 1, 2, 3}
+	for i := 0; i < 4; i++ {
+		p.Fill(i, ctx(uint64(i)))
+	}
+	p.Hit(1, ctx(1)) // rrpv 0
+	// All at rrpv 2 except idx1 at 0. Victim must age everyone to find a 3.
+	v := p.Victim(cands, ctx(9))
+	if v == 1 {
+		t.Fatal("promoted line evicted before distant lines")
+	}
+	if p.rrpv[1] != 1 {
+		t.Fatalf("aging should raise promoted line to 1, got %d", p.rrpv[1])
+	}
+}
+
+func TestBRRIPMostlyDistant(t *testing.T) {
+	p := NewBRRIP(1, 64, 0)
+	distant := 0
+	for i := 0; i < 64; i++ {
+		p.Fill(i, ctx(uint64(i)))
+		if p.rrpv[i] == rripMax {
+			distant++
+		}
+	}
+	// ε = 1/32: exactly 2 of 64 fills are near.
+	if distant != 62 {
+		t.Fatalf("distant fills = %d/64, want 62", distant)
+	}
+}
+
+func TestDRRIPFollowsWinner(t *testing.T) {
+	// Feed misses only to SRRIP leader sets: PSEL rises, followers adopt
+	// BRRIP insertion (distant).
+	sets := 64
+	p := NewDRRIP(sets, 4, 0, 1, false)
+	srripLeader := 0           // set 0: leader for SRRIP
+	follower := 1              // set 1: follower
+	for i := 0; i < 600; i++ { // drive PSEL up
+		p.Fill(i%4, AccessContext{Set: srripLeader})
+	}
+	if p.PSEL(0) <= p.pselMax/2 {
+		t.Fatalf("PSEL = %d, expected above midpoint", p.PSEL(0))
+	}
+	// Follower fills should now be BRRIP-style (mostly distant).
+	distant := 0
+	for i := 0; i < 64; i++ {
+		idx := follower*4 + i%4
+		p.Fill(idx, AccessContext{Set: follower})
+		if p.rrpv[idx] == rripMax {
+			distant++
+		}
+	}
+	if distant < 55 {
+		t.Fatalf("follower fills distant %d/64; expected BRRIP behaviour", distant)
+	}
+}
+
+func TestTADRRIPIndependentPSEL(t *testing.T) {
+	p := NewDRRIP(64, 4, 0, 2, true)
+	if p.Name() != "TA-DRRIP" {
+		t.Fatalf("name = %s", p.Name())
+	}
+	// Thread 0 misses in its SRRIP leader sets; thread 1 in its BRRIP
+	// leader sets. PSELs must move independently (and oppositely).
+	for set := 0; set < 64; set++ {
+		for i := 0; i < 20; i++ {
+			if p.leaderKind(set, 0) == +1 {
+				p.Fill(set*4, AccessContext{Set: set, Thread: 0})
+			}
+			if p.leaderKind(set, 1) == -1 {
+				p.Fill(set*4+1, AccessContext{Set: set, Thread: 1})
+			}
+		}
+	}
+	if !(p.PSEL(0) > p.pselMax/2) {
+		t.Errorf("thread 0 PSEL = %d, want above midpoint", p.PSEL(0))
+	}
+	if !(p.PSEL(1) < p.pselMax/2) {
+		t.Errorf("thread 1 PSEL = %d, want below midpoint", p.PSEL(1))
+	}
+}
+
+func TestDIPBIPWinsOnThrash(t *testing.T) {
+	// Under a thrashing pattern, BIP leaders miss less... we can only
+	// check the PSEL mechanics here: misses in LRU leader sets push PSEL
+	// up, flipping followers to BIP (LRU-position inserts).
+	p := NewDIP(64, 4, 0)
+	for i := 0; i < 600; i++ {
+		p.Fill(i%4, AccessContext{Set: 0}) // set 0 = LRU leader
+	}
+	if p.PSEL() <= 511 {
+		t.Fatalf("PSEL = %d, want > 511", p.PSEL())
+	}
+	// Follower fills should insert at the LRU position — the freshly
+	// filled way stays the victim — except for the ε (1/32) MRU inserts.
+	base := 1 * 4 // set 1 lines
+	cands := []int{base, base + 1, base + 2, base + 3}
+	for w := 0; w < 4; w++ {
+		p.lru.Fill(base+w, AccessContext{Set: 1})
+	}
+	lruInserts := 0
+	for i := 0; i < 31; i++ {
+		p.Fill(base, AccessContext{Set: 1})
+		if p.Victim(cands, AccessContext{Set: 1}) == base {
+			lruInserts++
+		}
+	}
+	if lruInserts < 29 {
+		t.Fatalf("BIP inserted at MRU too often: %d/31 LRU-position inserts", lruInserts)
+	}
+}
+
+func TestPDPProtectsAndBypasses(t *testing.T) {
+	p := NewPDP(4, 4, 1)
+	cands := []int{0, 1, 2, 3}
+	c := AccessContext{Addr: 100, Set: 0}
+	// Fill the set; all lines freshly protected.
+	for i := 0; i < 4; i++ {
+		p.Fill(i, c)
+	}
+	// Immediately after filling, every line is protected: bypass.
+	if v := p.Victim(cands, c); v != -1 {
+		t.Fatalf("victim = %d, want bypass (-1)", v)
+	}
+	// Age the set well past the protecting distance: victims appear.
+	for i := 0; i < 1000; i++ {
+		p.observe(uint64(i+500), 0)
+	}
+	if v := p.Victim(cands, c); v == -1 {
+		t.Fatal("expected an unprotected victim after aging")
+	}
+}
+
+func TestPDPName(t *testing.T) {
+	if NewPDP(2, 2, 0).Name() != "PDP" {
+		t.Fatal("bad name")
+	}
+}
+
+func TestPoliciesResetClean(t *testing.T) {
+	seeds := hash.NewSplitMix64(1)
+	pols := []Policy{
+		NewLRU(4, 4, seeds.Next()),
+		NewRandom(4, 4, seeds.Next()),
+		NewSRRIP(4, 4, seeds.Next()),
+		NewBRRIP(4, 4, seeds.Next()),
+		NewDRRIP(64, 4, seeds.Next(), 2, true),
+		NewDIP(64, 4, seeds.Next()),
+		NewPDP(4, 4, seeds.Next()),
+	}
+	for _, p := range pols {
+		for i := 0; i < 8; i++ {
+			p.Fill(i%16, AccessContext{Addr: uint64(i), Set: i % 4})
+			p.Hit(i%16, AccessContext{Addr: uint64(i), Set: i % 4})
+		}
+		p.Reset()
+		// After reset, a fresh victim choice must still work.
+		if v := p.Victim([]int{0, 1, 2, 3}, AccessContext{Addr: 77, Set: 0}); v < -1 || v > 3 {
+			t.Fatalf("%s: victim %d invalid after reset", p.Name(), v)
+		}
+	}
+}

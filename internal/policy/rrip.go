@@ -1,0 +1,269 @@
+// RRIP-family policies: SRRIP, BRRIP, and DRRIP with set dueling,
+// including the thread-aware TA-DRRIP variant used as the hardware-only
+// baseline in the paper's multi-programmed experiments (§VII-D).
+//
+// Re-Reference Interval Prediction (Jaleel et al., ISCA 2010) attaches an
+// M-bit re-reference prediction value (RRPV) to each line. The paper's
+// configuration is M = 2 (RRPV in 0..3) with hit-promotion to 0 and
+// ε = 1/32 for BRRIP's infrequent long-re-reference insertions.
+
+package policy
+
+// rripMax is the maximum RRPV for the paper's M = 2 bits.
+const rripMax = 3
+
+// bipEpsilonDenom is 1/ε: BRRIP inserts at RRPV=2 once every 32 fills
+// (same ε as DIP's BIP; paper §II-A).
+const bipEpsilonDenom = 32
+
+// SRRIP implements Static RRIP: insert at RRPV = max−1 ("long
+// re-reference"), promote to 0 on hit, evict the first candidate with
+// RRPV = max, aging all candidates when none qualifies.
+type SRRIP struct {
+	rrpv []uint8
+}
+
+// NewSRRIP returns an SRRIP policy for sets×assoc lines.
+func NewSRRIP(sets, assoc int, _ uint64) *SRRIP {
+	r := &SRRIP{rrpv: make([]uint8, sets*assoc)}
+	r.Reset()
+	return r
+}
+
+// SRRIPFactory adapts NewSRRIP to the Factory signature.
+func SRRIPFactory(sets, assoc int, seed uint64) Policy { return NewSRRIP(sets, assoc, seed) }
+
+// Name implements Policy.
+func (p *SRRIP) Name() string { return "SRRIP" }
+
+// Hit implements Policy: hit promotion (HP) to RRPV 0.
+func (p *SRRIP) Hit(idx int, _ AccessContext) { p.rrpv[idx] = 0 }
+
+// Fill implements Policy: insert predicting a long re-reference interval.
+func (p *SRRIP) Fill(idx int, _ AccessContext) { p.rrpv[idx] = rripMax - 1 }
+
+// Victim implements Policy.
+func (p *SRRIP) Victim(candidates []int, _ AccessContext) int {
+	return rripVictim(p.rrpv, candidates)
+}
+
+// Reset implements Policy: empty ways start distant (RRPV max) so they are
+// chosen before any resident line.
+func (p *SRRIP) Reset() {
+	for i := range p.rrpv {
+		p.rrpv[i] = rripMax
+	}
+}
+
+// rripVictim evicts the leftmost candidate with RRPV = max, aging every
+// candidate by the shortfall when none qualifies (equivalent to the
+// textbook "increment all and rescan" loop, in one pass).
+func rripVictim(rrpv []uint8, candidates []int) int {
+	var maxV uint8
+	best := candidates[0]
+	for _, idx := range candidates {
+		if rrpv[idx] > maxV {
+			maxV = rrpv[idx]
+			best = idx
+			if maxV == rripMax {
+				break
+			}
+		}
+	}
+	if maxV < rripMax {
+		delta := rripMax - maxV
+		for _, idx := range candidates {
+			rrpv[idx] += delta
+		}
+	}
+	return best
+}
+
+// BRRIP implements Bimodal RRIP: like SRRIP, but fills insert at RRPV=max
+// ("distant") except for 1 in 32 fills which insert at max−1. BRRIP is
+// thrash-resistant: most of a too-large working set streams through the
+// distant position without displacing the protected portion.
+type BRRIP struct {
+	rrpv    []uint8
+	fillCnt uint64
+}
+
+// NewBRRIP returns a BRRIP policy.
+func NewBRRIP(sets, assoc int, _ uint64) *BRRIP {
+	r := &BRRIP{rrpv: make([]uint8, sets*assoc)}
+	r.Reset()
+	return r
+}
+
+// BRRIPFactory adapts NewBRRIP to the Factory signature.
+func BRRIPFactory(sets, assoc int, seed uint64) Policy { return NewBRRIP(sets, assoc, seed) }
+
+// Name implements Policy.
+func (p *BRRIP) Name() string { return "BRRIP" }
+
+// Hit implements Policy.
+func (p *BRRIP) Hit(idx int, _ AccessContext) { p.rrpv[idx] = 0 }
+
+// Fill implements Policy.
+func (p *BRRIP) Fill(idx int, _ AccessContext) {
+	p.fillCnt++
+	if p.fillCnt%bipEpsilonDenom == 0 {
+		p.rrpv[idx] = rripMax - 1
+	} else {
+		p.rrpv[idx] = rripMax
+	}
+}
+
+// Victim implements Policy.
+func (p *BRRIP) Victim(candidates []int, _ AccessContext) int {
+	return rripVictim(p.rrpv, candidates)
+}
+
+// Reset implements Policy.
+func (p *BRRIP) Reset() {
+	p.fillCnt = 0
+	for i := range p.rrpv {
+		p.rrpv[i] = rripMax
+	}
+}
+
+// DRRIP dynamically selects between SRRIP and BRRIP insertion using set
+// dueling: a few leader sets always use each constituent policy, a
+// saturating counter (PSEL) tallies which leader group misses more, and
+// all follower sets adopt the winner. With ThreadAware enabled (TA-DRRIP),
+// each thread duels independently with its own PSEL and leader sets, as in
+// Jaleel et al.'s thread-aware extension the paper compares against.
+type DRRIP struct {
+	rrpv    []uint8
+	sets    int
+	fillCnt uint64
+	psel    []int32 // one per thread (one entry when not thread-aware)
+	pselMax int32
+	threads int
+	ta      bool
+}
+
+// drripLeaderPeriod spaces leader sets: within each period, one set leads
+// for SRRIP and one for BRRIP (≈ 32 dueling sets per side on a 1K-set
+// cache, matching the papers' "set dueling monitors").
+const drripLeaderPeriod = 32
+
+// NewDRRIP returns a DRRIP policy. threads > 1 with threadAware true gives
+// TA-DRRIP; threads is the number of logical partitions that will access
+// the cache.
+func NewDRRIP(sets, assoc int, _ uint64, threads int, threadAware bool) *DRRIP {
+	if threads < 1 {
+		threads = 1
+	}
+	n := 1
+	if threadAware {
+		n = threads
+	}
+	d := &DRRIP{
+		rrpv:    make([]uint8, sets*assoc),
+		sets:    sets,
+		psel:    make([]int32, n),
+		pselMax: 1023, // 10-bit saturating counter
+		threads: threads,
+		ta:      threadAware,
+	}
+	d.Reset()
+	return d
+}
+
+// DRRIPFactory adapts single-threaded DRRIP to the Factory signature.
+func DRRIPFactory(sets, assoc int, seed uint64) Policy {
+	return NewDRRIP(sets, assoc, seed, 1, false)
+}
+
+// TADRRIPFactory returns a Factory producing thread-aware DRRIP for the
+// given thread count.
+func TADRRIPFactory(threads int) Factory {
+	return func(sets, assoc int, seed uint64) Policy {
+		return NewDRRIP(sets, assoc, seed, threads, true)
+	}
+}
+
+// Name implements Policy.
+func (p *DRRIP) Name() string {
+	if p.ta {
+		return "TA-DRRIP"
+	}
+	return "DRRIP"
+}
+
+// leaderKind classifies a set for a thread: +1 = SRRIP leader,
+// -1 = BRRIP leader, 0 = follower. With thread-aware dueling, each
+// thread's leader sets are offset so different threads duel in different
+// sets.
+func (p *DRRIP) leaderKind(set, thread int) int {
+	pos := set % drripLeaderPeriod
+	if p.ta {
+		pos = (set + 5*thread) % drripLeaderPeriod
+	}
+	switch pos {
+	case 0:
+		return +1
+	case drripLeaderPeriod / 2:
+		return -1
+	}
+	return 0
+}
+
+// Hit implements Policy.
+func (p *DRRIP) Hit(idx int, _ AccessContext) { p.rrpv[idx] = 0 }
+
+// Fill implements Policy: leader sets insert with their constituent
+// policy and vote via PSEL (a fill is a miss, so leader fills record a
+// miss against that leader's policy); follower sets insert with the
+// current winner.
+func (p *DRRIP) Fill(idx int, ctx AccessContext) {
+	t := 0
+	if p.ta {
+		t = ctx.Thread % len(p.psel)
+	}
+	useBRRIP := false
+	switch p.leaderKind(ctx.Set, ctx.Thread) {
+	case +1: // SRRIP leader missed: evidence against SRRIP
+		if p.psel[t] < p.pselMax {
+			p.psel[t]++
+		}
+	case -1: // BRRIP leader missed: evidence against BRRIP
+		if p.psel[t] > 0 {
+			p.psel[t]--
+		}
+		useBRRIP = true
+	default:
+		// Follower: high PSEL means SRRIP misses more, so follow BRRIP.
+		useBRRIP = p.psel[t] > p.pselMax/2
+	}
+	if useBRRIP {
+		p.fillCnt++
+		if p.fillCnt%bipEpsilonDenom == 0 {
+			p.rrpv[idx] = rripMax - 1
+		} else {
+			p.rrpv[idx] = rripMax
+		}
+	} else {
+		p.rrpv[idx] = rripMax - 1
+	}
+}
+
+// Victim implements Policy.
+func (p *DRRIP) Victim(candidates []int, _ AccessContext) int {
+	return rripVictim(p.rrpv, candidates)
+}
+
+// Reset implements Policy.
+func (p *DRRIP) Reset() {
+	p.fillCnt = 0
+	for i := range p.rrpv {
+		p.rrpv[i] = rripMax
+	}
+	for t := range p.psel {
+		p.psel[t] = p.pselMax / 2
+	}
+}
+
+// PSEL exposes the policy-selection counter for thread t (tests).
+func (p *DRRIP) PSEL(t int) int32 { return p.psel[t%len(p.psel)] }

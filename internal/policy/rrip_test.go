@@ -1,0 +1,146 @@
+package policy
+
+import (
+	"testing"
+)
+
+func TestSRRIPVictimPrefersDistant(t *testing.T) {
+	p := NewSRRIP(1, 4, 0)
+	cands := []int{0, 1, 2, 3}
+	// Fresh cache: all at max RRPV → leftmost wins without aging.
+	if v := p.Victim(cands, ctx(0)); v != 0 {
+		t.Fatalf("victim = %d, want 0", v)
+	}
+	// Fill 0 (rrpv 2); 1..3 remain at 3: victim among 1..3.
+	p.Fill(0, ctx(0))
+	if v := p.Victim(cands, ctx(0)); v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+}
+
+func TestBRRIPOccasionalNearInsertion(t *testing.T) {
+	p := NewBRRIP(1, 4, 0)
+	near := 0
+	for i := 0; i < 320; i++ {
+		p.Fill(i%4, ctx(uint64(i)))
+		if p.rrpv[i%4] == rripMax-1 {
+			near++
+		}
+	}
+	// Exactly every 32nd fill is near: 10 of 320.
+	if near != 10 {
+		t.Fatalf("near insertions = %d/320, want 10", near)
+	}
+}
+
+func TestDRRIPLeaderSpacing(t *testing.T) {
+	p := NewDRRIP(256, 4, 0, 1, false)
+	var srripLeaders, brripLeaders int
+	for set := 0; set < 256; set++ {
+		switch p.leaderKind(set, 0) {
+		case +1:
+			srripLeaders++
+		case -1:
+			brripLeaders++
+		}
+	}
+	// One leader of each kind per 32-set period.
+	if srripLeaders != 8 || brripLeaders != 8 {
+		t.Fatalf("leaders = %d/%d, want 8/8", srripLeaders, brripLeaders)
+	}
+}
+
+func TestDRRIPFollowsSRRIPWhenBRRIPLoses(t *testing.T) {
+	p := NewDRRIP(64, 4, 0, 1, false)
+	// Misses only in BRRIP leader sets drive PSEL down → followers adopt
+	// SRRIP insertion (rrpv = max−1 always).
+	brripLeader := drripLeaderPeriod / 2
+	for i := 0; i < 600; i++ {
+		p.Fill(brripLeader*4+i%4, AccessContext{Set: brripLeader})
+	}
+	if p.PSEL(0) >= p.pselMax/2 {
+		t.Fatalf("PSEL = %d, want below midpoint", p.PSEL(0))
+	}
+	follower := 1
+	for i := 0; i < 64; i++ {
+		idx := follower*4 + i%4
+		p.Fill(idx, AccessContext{Set: follower})
+		if p.rrpv[idx] != rripMax-1 {
+			t.Fatalf("follower fill %d not SRRIP-style (rrpv=%d)", i, p.rrpv[idx])
+		}
+	}
+}
+
+func TestTADRRIPThreadFoldsIntoPSELRange(t *testing.T) {
+	p := NewDRRIP(64, 4, 0, 2, true)
+	// Thread ids beyond the PSEL count must fold, not panic.
+	p.Fill(0, AccessContext{Set: 0, Thread: 7})
+	p.Hit(0, AccessContext{Set: 0, Thread: 7})
+	_ = p.PSEL(7)
+}
+
+func TestDRRIPReset(t *testing.T) {
+	p := NewDRRIP(64, 4, 0, 2, true)
+	for i := 0; i < 100; i++ {
+		p.Fill(i%16, AccessContext{Set: 0, Thread: i % 2})
+	}
+	p.Reset()
+	for t2 := 0; t2 < 2; t2++ {
+		if p.PSEL(t2) != p.pselMax/2 {
+			t.Fatalf("PSEL[%d] = %d after reset", t2, p.PSEL(t2))
+		}
+	}
+	for i, v := range p.rrpv {
+		if v != rripMax {
+			t.Fatalf("rrpv[%d] = %d after reset", i, v)
+		}
+	}
+}
+
+func TestDIPNamesAndReset(t *testing.T) {
+	p := NewDIP(64, 4, 0)
+	if p.Name() != "DIP" {
+		t.Fatal("name")
+	}
+	p.Fill(0, AccessContext{Set: 0})
+	p.Reset()
+	if p.PSEL() != 511 {
+		t.Fatalf("PSEL after reset = %d", p.PSEL())
+	}
+}
+
+func TestPDPRecomputeFromHistogram(t *testing.T) {
+	// Drive enough reuse at a fixed distance that PDP's sampler observes
+	// it and sets a protecting distance covering that distance.
+	p := NewPDP(16, 16, 3)
+	initial := p.PD()
+	// Cyclic reuse over 512 addresses: reuse distance 512 lines.
+	for i := 0; i < 3*pdpRecomputeEvery; i++ {
+		addr := uint64(i % 512)
+		p.observe(addr, int(addr)%16)
+	}
+	after := p.PD()
+	if after == initial {
+		t.Fatalf("PD never recomputed: still %g", after)
+	}
+	// 512-line reuse distance over 16 sets = 32 per-set accesses; the PD
+	// must cover it (with the 1.1 safety factor).
+	if after < 32 {
+		t.Fatalf("PD = %g per-set accesses, want ≥ 32 to protect the working set", after)
+	}
+}
+
+func TestPDPVictimAmongOldest(t *testing.T) {
+	p := NewPDP(4, 4, 1)
+	c := AccessContext{Addr: 5, Set: 0}
+	p.Fill(0, c)
+	// Age set 0 past protection.
+	for i := 0; i < 100; i++ {
+		p.observe(uint64(1000+i), 0)
+	}
+	p.Fill(1, c) // fresh: protected
+	v := p.Victim([]int{0, 1}, c)
+	if v != 0 {
+		t.Fatalf("victim = %d, want the aged line 0", v)
+	}
+}

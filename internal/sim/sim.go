@@ -1,0 +1,104 @@
+// Package sim is the simulation harness: it wires workloads, caches,
+// monitors, Talus, and allocation algorithms into the paper's two
+// experimental setups — single-program LLC-size sweeps (Figs. 1, 8, 9,
+// 10, 11) and multi-programmed 8-core runs with epoch-based
+// reconfiguration (Figs. 12, 13).
+//
+// # Core model
+//
+// The paper simulates OOO Silvermont-like cores in zsim (Table I). This
+// reproduction substitutes an analytic core model (see DESIGN.md §2):
+//
+//	CPI = CPIBase + MPKI/1000 · MemLatency / MLP
+//
+// where CPIBase is the app's cycles-per-instruction with a perfect LLC,
+// MemLatency is the paper's 200-cycle memory latency, and MLP is the
+// app's average overlap of outstanding misses. Talus's claims are about
+// miss curves and allocations; IPC enters only to weight accesses and
+// report speedups, and this model preserves the orderings the paper
+// reports.
+package sim
+
+import (
+	"fmt"
+
+	"talus/internal/cache"
+	"talus/internal/core"
+	"talus/internal/partition"
+	"talus/internal/policy"
+	"talus/internal/workload"
+)
+
+// Table I parameters used by the analytic model and default experiment
+// configurations.
+const (
+	MemLatency   = 200 // cycles to main memory
+	DefaultAssoc = 32  // 32-way set-associative LLC
+	CoresMP      = 8   // multi-programmed setup core count
+	LLCPerCoreMB = 1   // 1 MB of LLC per core
+)
+
+// IPC evaluates the analytic core model for an app at a given MPKI.
+func IPC(spec workload.Spec, mpki float64) float64 {
+	cpi := CPI(spec, mpki)
+	return 1 / cpi
+}
+
+// CPI evaluates the analytic core model's cycles-per-instruction.
+func CPI(spec workload.Spec, mpki float64) float64 {
+	return spec.CPIBase + mpki/1000*MemLatency/spec.MLP
+}
+
+// PolicyByName resolves a policy name to a Factory. threads matters only
+// for thread-aware policies (TA-DRRIP).
+func PolicyByName(name string, threads int) (policy.Factory, error) {
+	switch name {
+	case "LRU", "lru":
+		return policy.LRUFactory, nil
+	case "SRRIP", "srrip":
+		return policy.SRRIPFactory, nil
+	case "BRRIP", "brrip":
+		return policy.BRRIPFactory, nil
+	case "DRRIP", "drrip":
+		return policy.DRRIPFactory, nil
+	case "TA-DRRIP", "tadrrip", "ta-drrip":
+		return policy.TADRRIPFactory(threads), nil
+	case "DIP", "dip":
+		return policy.DIPFactory, nil
+	case "PDP", "pdp":
+		return policy.PDPFactory, nil
+	case "Random", "random":
+		return policy.RandomFactory, nil
+	}
+	return nil, fmt.Errorf("sim: unknown policy %q", name)
+}
+
+// BuildCache constructs a partitioned cache per the named scheme:
+// "none", "way", "set", "vantage" build set-associative arrays;
+// "ideal" builds the fully-associative per-partition LRU cache (the
+// policy name is ignored for "ideal", which is inherently LRU).
+func BuildCache(scheme string, capacityLines int64, assoc int, numPartitions int, policyName string, threads int, seed uint64) (core.PartitionedCache, error) {
+	if scheme == "ideal" {
+		return cache.NewIdeal(capacityLines, numPartitions)
+	}
+	var sch partition.Scheme
+	switch scheme {
+	case "none", "":
+		sch = partition.NewNone(numPartitions)
+	case "way":
+		sch = partition.NewWay(numPartitions)
+	case "set":
+		sch = partition.NewSet(numPartitions)
+	case "vantage":
+		sch = partition.NewVantage(numPartitions)
+	case "futility":
+		sch = partition.NewFutility(numPartitions)
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %q", scheme)
+	}
+	factory, err := PolicyByName(policyName, threads)
+	if err != nil {
+		return nil, err
+	}
+	return cache.NewSetAssoc(capacityLines, assoc, sch, factory, seed)
+}

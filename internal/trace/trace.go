@@ -1,0 +1,120 @@
+// Package trace records and replays LLC access streams in a compact
+// binary format. Traces serve three purposes: feeding the offline MIN
+// simulator (which needs two passes over the same stream), snapshotting
+// workload generators for reproducibility, and exchanging streams with
+// external tools via the misscurve CLI.
+//
+// Format (little-endian): 8-byte magic "TALUSTRC", uint32 version,
+// uint64 count, then count uint64 line addresses.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Magic identifies trace files.
+var Magic = [8]byte{'T', 'A', 'L', 'U', 'S', 'T', 'R', 'C'}
+
+// Version is the current format version.
+const Version uint32 = 1
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic   = errors.New("trace: bad magic")
+	ErrBadVersion = errors.New("trace: unsupported version")
+)
+
+// Write serializes addrs to w.
+func Write(w io.Writer, addrs []uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, Version); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(addrs))); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint64(buf[:], a)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace from r.
+func Read(r io.Reader) ([]uint64, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxCount = 1 << 32 // sanity bound: 32 GB of addresses
+	if count > maxCount {
+		return nil, fmt.Errorf("trace: implausible count %d", count)
+	}
+	addrs := make([]uint64, count)
+	var buf [8]byte
+	for i := range addrs {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, err
+		}
+		addrs[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return addrs, nil
+}
+
+// WriteFile writes a trace to path.
+func WriteFile(path string, addrs []uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, addrs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace from path.
+func ReadFile(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Record captures n addresses from next (a generator's Next method).
+func Record(next func() uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = next()
+	}
+	return out
+}

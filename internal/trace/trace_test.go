@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	addrs := []uint64{0, 1, 1 << 40, ^uint64(0), 42}
+	var buf bytes.Buffer
+	if err := Write(&buf, addrs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(addrs) {
+		t.Fatalf("length %d, want %d", len(got), len(addrs))
+	}
+	for i := range addrs {
+		if got[i] != addrs[i] {
+			t.Fatalf("addr %d = %d, want %d", i, got[i], addrs[i])
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty trace, got %d entries", len(got))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRCE-----------------"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	addrs := []uint64{1, 2, 3}
+	var buf bytes.Buffer
+	if err := Write(&buf, addrs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Fatal("truncated trace must fail")
+	}
+	if _, err := Read(bytes.NewReader(raw[:6])); err == nil {
+		t.Fatal("truncated header must fail")
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	addrs := []uint64{1}
+	var buf bytes.Buffer
+	if err := Write(&buf, addrs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] = 99 // corrupt version byte
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	addrs := []uint64{7, 8, 9}
+	if err := WriteFile(path, addrs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestRecord(t *testing.T) {
+	i := uint64(0)
+	next := func() uint64 { i++; return i }
+	got := Record(next, 5)
+	for j, v := range got {
+		if v != uint64(j+1) {
+			t.Fatalf("Record = %v", got)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		var buf bytes.Buffer
+		if err := Write(&buf, addrs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(addrs) {
+			return false
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

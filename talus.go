@@ -1,0 +1,176 @@
+// Package talus is a from-scratch reproduction of "Talus: A Simple Way to
+// Remove Cliffs in Cache Performance" (Beckmann & Sanchez, HPCA 2015): a
+// cache-partitioning technique that makes any replacement policy's miss
+// curve convex by splitting each access stream across two hidden shadow
+// partitions.
+//
+// This root package is the public API. It re-exports the building blocks
+// a downstream user needs:
+//
+//   - miss curves and convex hulls (NewCurve, ConvexHull, Convexify);
+//   - the Talus configuration math (Configure, Config) — Theorems 4 and 6;
+//   - the runtime (NewShadowedCache) that routes sampled accesses into
+//     shadow partitions of a partitioned cache built with BuildCache;
+//   - optimal bypassing (OptimalBypass, BypassCurve) for §V-C comparisons;
+//   - partitioning algorithms (HillClimb, Lookahead, Fair, OptimalDP);
+//   - the SPEC CPU2006 workload clones (Workloads, LookupWorkload) and the
+//     simulation harness (RunSweep, RunMix) that regenerates the paper's
+//     figures.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results; runnable examples live under examples/.
+package talus
+
+import (
+	"talus/internal/alloc"
+	"talus/internal/bypass"
+	"talus/internal/core"
+	"talus/internal/curve"
+	"talus/internal/hull"
+	"talus/internal/sim"
+	"talus/internal/workload"
+)
+
+// Re-exported core types. These are aliases, so values flow freely
+// between the public API and the internal packages.
+type (
+	// MissCurve is a piecewise-linear miss curve: MPKI as a function of
+	// cache size in lines.
+	MissCurve = curve.Curve
+	// Point is one (size, MPKI) measurement on a miss curve.
+	Point = curve.Point
+	// Config is a Talus shadow-partition configuration: hull anchors α
+	// and β, sampling rate ρ, and shadow sizes s1, s2.
+	Config = core.Config
+	// ShadowedCache is the Talus runtime over a partitioned cache.
+	ShadowedCache = core.ShadowedCache
+	// PartitionedCache is the cache interface Talus partitions.
+	PartitionedCache = core.PartitionedCache
+	// BypassConfig describes an optimal-bypassing operating point.
+	BypassConfig = bypass.Config
+	// WorkloadSpec describes one synthetic application clone.
+	WorkloadSpec = workload.Spec
+	// SweepConfig parameterizes a single-program size sweep.
+	SweepConfig = sim.SweepConfig
+	// MixConfig parameterizes a multi-programmed run.
+	MixConfig = sim.MixConfig
+	// MixResult reports per-app outcomes of a multi-programmed run.
+	MixResult = sim.MixResult
+	// Mode names a multi-program cache-management scheme.
+	Mode = sim.Mode
+)
+
+// DefaultMargin is the paper's 5% sampling-rate safety margin (§VI-B).
+const DefaultMargin = core.DefaultMargin
+
+// LinesPerMB converts between the two capacity units used throughout:
+// cache lines (64 B) and megabytes.
+const LinesPerMB = curve.LinesPerMB
+
+// MBToLines converts megabytes to cache lines.
+func MBToLines(mbSize float64) float64 { return curve.MBToLines(mbSize) }
+
+// LinesToMB converts cache lines to megabytes.
+func LinesToMB(lines float64) float64 { return curve.LinesToMB(lines) }
+
+// NewCurve builds a miss curve from points with strictly increasing sizes.
+func NewCurve(points []Point) (*MissCurve, error) { return curve.New(points) }
+
+// MustCurve is NewCurve that panics on invalid input.
+func MustCurve(points []Point) *MissCurve { return curve.MustNew(points) }
+
+// ConvexHull returns the lower convex hull of a miss curve — the curve
+// Talus realizes (Theorem 6).
+func ConvexHull(c *MissCurve) *MissCurve { return hull.Lower(c) }
+
+// Convexify replaces each curve with its hull: the Talus pre-processing
+// step that lets any partitioning algorithm assume convexity.
+func Convexify(curves []*MissCurve) []*MissCurve { return core.Convexify(curves) }
+
+// Configure computes the Talus shadow-partition configuration for a
+// partition of s lines under miss curve m with the given safety margin.
+func Configure(m *MissCurve, s, margin float64) (Config, error) {
+	return core.Configure(m, s, margin)
+}
+
+// InterpolatedMPKI evaluates m's convex hull at size s: the miss rate
+// Talus promises there.
+func InterpolatedMPKI(m *MissCurve, s float64) float64 {
+	return core.InterpolatedMPKI(m, s)
+}
+
+// NewShadowedCache wraps a partitioned cache (with 2×numLogical hardware
+// partitions) in the Talus runtime.
+func NewShadowedCache(inner PartitionedCache, numLogical int, margin float64, seed uint64) (*ShadowedCache, error) {
+	return core.NewShadowedCache(inner, numLogical, margin, seed)
+}
+
+// BuildCache constructs a simulated LLC: scheme is one of "none", "way",
+// "set", "vantage", "ideal"; policyName one of "LRU", "SRRIP", "BRRIP",
+// "DRRIP", "TA-DRRIP", "DIP", "PDP", "Random".
+func BuildCache(scheme string, capacityLines int64, assoc, numPartitions int, policyName string, threads int, seed uint64) (PartitionedCache, error) {
+	return sim.BuildCache(scheme, capacityLines, assoc, numPartitions, policyName, threads, seed)
+}
+
+// OptimalBypass finds the bypass fraction minimizing misses at size s
+// (Eq. 6); BypassCurve evaluates it across sizes (Fig. 6).
+func OptimalBypass(m *MissCurve, s float64) (BypassConfig, error) { return bypass.Optimal(m, s) }
+
+// BypassCurve evaluates optimal bypassing at each size.
+func BypassCurve(m *MissCurve, sizes []float64) (*MissCurve, error) {
+	return bypass.Curve(m, sizes)
+}
+
+// HillClimb allocates total lines across partitions greedily — optimal on
+// convex curves, stuck on cliffs.
+func HillClimb(curves []*MissCurve, total, granule int64) ([]int64, error) {
+	return alloc.HillClimb(curves, total, granule)
+}
+
+// Lookahead is UCP's quadratic partitioning heuristic.
+func Lookahead(curves []*MissCurve, total, granule int64) ([]int64, error) {
+	return alloc.Lookahead(curves, total, granule)
+}
+
+// Fair returns equal allocations.
+func Fair(n int, total, granule int64) ([]int64, error) { return alloc.Fair(n, total, granule) }
+
+// OptimalDP computes the exact misses-minimizing allocation by dynamic
+// programming (ground truth for tests and ablations).
+func OptimalDP(curves []*MissCurve, total, granule int64) ([]int64, error) {
+	return alloc.OptimalDP(curves, total, granule)
+}
+
+// Workloads returns the names of all SPEC CPU2006 clones.
+func Workloads() []string { return workload.Names() }
+
+// MemoryIntensiveWorkloads returns the 18-app pool used for random mixes.
+func MemoryIntensiveWorkloads() []string { return workload.MemoryIntensive() }
+
+// LookupWorkload returns the named clone's spec.
+func LookupWorkload(name string) (WorkloadSpec, bool) { return workload.Lookup(name) }
+
+// RunSweep measures an app's miss curve over cache sizes.
+func RunSweep(cfg SweepConfig) (*MissCurve, error) { return sim.RunSweep(cfg) }
+
+// RunPoint measures an app's MPKI at one cache size.
+func RunPoint(cfg SweepConfig, sizeLines int64, seed uint64) (float64, error) {
+	return sim.RunPoint(cfg, sizeLines, seed)
+}
+
+// RunMix simulates a multi-programmed mix under a management mode.
+func RunMix(cfg MixConfig) (*MixResult, error) { return sim.RunMix(cfg) }
+
+// IPCOf evaluates the analytic core model for an app at a given MPKI.
+func IPCOf(spec WorkloadSpec, mpki float64) float64 { return sim.IPC(spec, mpki) }
+
+// Multi-program management modes (Figs. 12–13).
+const (
+	ModeLRU          = sim.ModeLRU
+	ModeTADRRIP      = sim.ModeTADRRIP
+	ModeHillLRU      = sim.ModeHillLRU
+	ModeLookaheadLRU = sim.ModeLookaheadLRU
+	ModeFairLRU      = sim.ModeFairLRU
+	ModeTalusHill    = sim.ModeTalusHill
+	ModeTalusFair    = sim.ModeTalusFair
+)
