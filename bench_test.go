@@ -11,6 +11,7 @@ package talus
 
 import (
 	"io"
+	"sync/atomic"
 	"testing"
 
 	"talus/internal/cache"
@@ -22,6 +23,7 @@ import (
 	"talus/internal/monitor"
 	"talus/internal/partition"
 	"talus/internal/policy"
+	"talus/internal/sim"
 	"talus/internal/workload"
 )
 
@@ -149,6 +151,136 @@ func BenchmarkCacheAccessVantageTalus(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tc.Access(uint64(i%32768), 0)
 	}
+}
+
+// --- concurrency layer benches ------------------------------------------
+
+// benchSweepConfig is a 12-point sweep of a small scanning app, sized so
+// points cost roughly the same and parallel speedup is visible: compare
+// BenchmarkSweepSequential and BenchmarkSweepParallel in BENCH_*.json to
+// track the parallel engine's scaling across PRs.
+func benchSweepConfig(parallelism int) sim.SweepConfig {
+	spec := workload.Spec{
+		Name: "benchscan", APKI: 20, CPIBase: 0.5, MLP: 2,
+		Build: func() workload.Pattern { return &workload.Scan{Lines: 8192} },
+	}
+	sizes := make([]int64, 12)
+	for i := range sizes {
+		sizes[i] = int64(2048 + 1024*i)
+	}
+	return sim.SweepConfig{
+		App:             spec,
+		SizesLines:      sizes,
+		WarmupAccesses:  1 << 16,
+		MeasureAccesses: 1 << 18,
+		Seed:            42,
+		Parallelism:     parallelism,
+	}
+}
+
+func benchSweep(b *testing.B, parallelism int) {
+	b.Helper()
+	cfg := benchSweepConfig(parallelism)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSequential is the single-worker baseline.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel fans the same sweep across GOMAXPROCS workers;
+// results are byte-identical to the sequential run.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// benchShardedCache builds the concurrent serving cache: 1 MB striped
+// over 8 locked LRU shards.
+func benchShardedCache(b *testing.B) *cache.ShardedCache {
+	b.Helper()
+	sc, err := sim.BuildShardedCache("none", 16384, 16, 8, 1, "LRU", 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// benchGoroutineSeed hands each RunParallel goroutine a distinct RNG
+// seed: identical seeds would make every goroutine replay the same
+// address stream in lockstep (all hitting the same shard at once), which
+// misrepresents both contention and hit behavior.
+var benchGoroutineSeed atomic.Uint64
+
+// BenchmarkShardedAccess measures the unbatched concurrent hot path: one
+// lock acquisition per access, all goroutines hammering at once.
+func BenchmarkShardedAccess(b *testing.B) {
+	sc := benchShardedCache(b)
+	b.RunParallel(func(pb *testing.PB) {
+		rng := hash.NewSplitMix64(benchGoroutineSeed.Add(1))
+		for pb.Next() {
+			sc.Access(rng.Uint64n(32768), 0)
+		}
+	})
+}
+
+// BenchmarkShardedAccessBatch measures the batched hot path: AccessBatch
+// groups each 512-access batch by shard and takes each shard lock once,
+// amortizing acquisition ~64× at 8 shards. Per-op time is per access.
+func BenchmarkShardedAccessBatch(b *testing.B) {
+	sc := benchShardedCache(b)
+	const batchLen = 512
+	b.RunParallel(func(pb *testing.PB) {
+		rng := hash.NewSplitMix64(benchGoroutineSeed.Add(1))
+		addrs := make([]uint64, batchLen)
+		i := batchLen
+		for pb.Next() {
+			if i == batchLen {
+				for j := range addrs {
+					addrs[j] = rng.Uint64n(32768)
+				}
+				sc.AccessBatch(addrs, nil, nil)
+				i = 0
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkShadowedShardedBatch measures the full concurrent Talus stack:
+// sampler routing plus batched sharded access.
+func BenchmarkShadowedShardedBatch(b *testing.B) {
+	inner, err := sim.BuildShardedCache("vantage", 16384, 16, 8, 2, "LRU", 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc, err := core.NewShadowedCache(inner, 1, core.DefaultMargin, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc := curve.MustNew([]curve.Point{
+		{Size: 0, MPKI: 30}, {Size: 16000, MPKI: 30}, {Size: 32768, MPKI: 1}, {Size: 65536, MPKI: 1},
+	})
+	if err := tc.Reconfigure([]int64{inner.PartitionableCapacity()}, []*curve.Curve{mc}); err != nil {
+		b.Fatal(err)
+	}
+	const batchLen = 512
+	b.RunParallel(func(pb *testing.PB) {
+		rng := hash.NewSplitMix64(benchGoroutineSeed.Add(1))
+		addrs := make([]uint64, batchLen)
+		i := batchLen
+		for pb.Next() {
+			if i == batchLen {
+				for j := range addrs {
+					addrs[j] = rng.Uint64n(32768)
+				}
+				tc.AccessBatch(addrs, 0, nil)
+				i = 0
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkUMONObserve measures monitor overhead per access (most

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"talus/internal/experiments"
@@ -28,6 +29,7 @@ func main() {
 		out   = flag.String("out", "", "directory for CSV output (optional)")
 		seed  = flag.Uint64("seed", 42, "random seed")
 		list  = flag.Bool("list", false, "list experiments and exit")
+		par   = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool size for sweeps and mixes (results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -44,11 +46,12 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Quick:  *quick,
-		Full:   *full,
-		OutDir: *out,
-		Seed:   *seed,
-		W:      os.Stdout,
+		Quick:       *quick,
+		Full:        *full,
+		OutDir:      *out,
+		Seed:        *seed,
+		Parallelism: *par,
+		W:           os.Stdout,
 	}
 	start := time.Now()
 	if err := experiments.Run(*exp, cfg); err != nil {

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -51,6 +52,7 @@ func main() {
 		mb       = flag.Float64("mb", 8, "LLC capacity in MB")
 		work     = flag.Int64("work", 30<<20, "fixed work per app (instructions)")
 		seed     = flag.Uint64("seed", 42, "random seed")
+		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool size for concurrent mix simulation")
 	)
 	flag.Parse()
 
@@ -94,16 +96,15 @@ func main() {
 		Seed:          spec.Seed,
 	}
 
+	// The baseline and the managed run are independent simulations: fan
+	// them across the worker pool.
 	baseCfg := mixCfg
 	baseCfg.Mode = sim.ModeLRU
-	base, err := sim.RunMix(baseCfg)
+	results, err := sim.RunMixes([]sim.MixConfig{baseCfg, mixCfg}, *par)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := sim.RunMix(mixCfg)
-	if err != nil {
-		fatal(err)
-	}
+	base, res := results[0], results[1]
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\tIPC\tMPKI\tspeedup-vs-LRU")

@@ -1,0 +1,3 @@
+module talus
+
+go 1.24

@@ -1,0 +1,91 @@
+// Native fuzzing for the Talus configuration math. Whatever curve a
+// monitor produces and whatever size an allocator picks, Configure must
+// return a physically realizable shadow split: ρ ∈ (0, 1], non-negative
+// shadow sizes summing to the target, and a predicted miss rate that
+// never exceeds the raw curve (the hull promise).
+
+package core
+
+import (
+	"math"
+	"testing"
+
+	"talus/internal/curve"
+)
+
+// fuzzCurve decodes fuzz bytes into a valid miss curve (strictly
+// increasing sizes, finite non-negative MPKIs), mirroring what monitors
+// can emit. Returns nil when the input is too short.
+func fuzzCurve(data []byte) *curve.Curve {
+	if len(data) < 2 {
+		return nil
+	}
+	pts := make([]curve.Point, 0, len(data)/2)
+	size := 0.0
+	for i := 0; i+1 < len(data); i += 2 {
+		size += float64(data[i]) + 1
+		pts = append(pts, curve.Point{Size: size, MPKI: float64(data[i+1]) * 0.25})
+	}
+	return curve.MustNew(pts)
+}
+
+func FuzzConfigure(f *testing.F) {
+	f.Add([]byte{10, 160, 10, 156, 10, 8, 10, 4}, uint16(25), false)
+	f.Add([]byte{1, 200, 1, 200, 1, 200}, uint16(2), true)
+	f.Add([]byte{50, 100, 50, 0}, uint16(75), false)
+	f.Add([]byte{3, 10, 3, 90, 3, 5, 3, 70, 3, 1}, uint16(9), true)
+	f.Fuzz(func(t *testing.T, data []byte, sizeSel uint16, useMargin bool) {
+		m := fuzzCurve(data)
+		if m == nil {
+			return
+		}
+		// Map sizeSel across [1, 1.25 × max size] so targets land inside,
+		// on, and beyond the measured range.
+		s := 1 + float64(sizeSel)/65535*1.25*m.MaxSize()
+		margin := 0.0
+		if useMargin {
+			margin = DefaultMargin
+		}
+		cfg, err := Configure(m, s, margin)
+		if err != nil {
+			t.Fatalf("Configure(%v, %g): %v", m, s, err)
+		}
+
+		// ρ ∈ (0, 1] — the sampler's limit register can realize it.
+		if !(cfg.Rho > 0 && cfg.Rho <= 1) {
+			t.Fatalf("Rho %g outside (0,1]: %+v", cfg.Rho, cfg)
+		}
+		if !(cfg.RhoIdeal > 0 && cfg.RhoIdeal <= 1) {
+			t.Fatalf("RhoIdeal %g outside (0,1]: %+v", cfg.RhoIdeal, cfg)
+		}
+		// Shadow sizes are non-negative and partition the target exactly.
+		if cfg.S1 < 0 || cfg.S2 < 0 {
+			t.Fatalf("negative shadow size: %+v", cfg)
+		}
+		if d := math.Abs(cfg.S1 + cfg.S2 - s); d > 1e-6*math.Max(1, s) {
+			t.Fatalf("s1+s2 = %g, want %g (Δ %g): %+v", cfg.S1+cfg.S2, s, d, cfg)
+		}
+		// The margin only ever increases the applied rate.
+		if cfg.Rho < cfg.RhoIdeal-1e-12 {
+			t.Fatalf("applied rho %g below ideal %g: %+v", cfg.Rho, cfg.RhoIdeal, cfg)
+		}
+		// Anchors bracket the target for non-degenerate configs.
+		if !cfg.Degenerate && !(cfg.Alpha <= s && s < cfg.Beta) {
+			t.Fatalf("anchors [%g, %g) do not bracket %g: %+v", cfg.Alpha, cfg.Beta, s, cfg)
+		}
+		// The hull promise: predicted MPKI never exceeds the raw curve.
+		if raw := m.Eval(s); cfg.PredictedMPKI > raw+1e-9 {
+			t.Fatalf("predicted %g above raw %g at %g", cfg.PredictedMPKI, raw, s)
+		}
+		// Granule coarsening must preserve the same invariants.
+		for _, g := range []float64{8, 512} {
+			cc := cfg.CoarsenToGranule(g)
+			if !(cc.Rho > 0 && cc.Rho <= 1) || cc.S1 < 0 || cc.S2 < 0 {
+				t.Fatalf("coarsened config invalid at granule %g: %+v", g, cc)
+			}
+			if d := math.Abs(cc.S1 + cc.S2 - s); d > 1e-6*math.Max(1, s) {
+				t.Fatalf("coarsened s1+s2 = %g, want %g at granule %g", cc.S1+cc.S2, s, g)
+			}
+		}
+	})
+}

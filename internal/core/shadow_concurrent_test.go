@@ -1,0 +1,156 @@
+// Concurrency tests for the Talus runtime over a sharded inner cache:
+// run under -race these prove the full serving stack — sampler routing,
+// batched shard access, and epoch reconfiguration — is goroutine-safe,
+// and that aggregated hit/miss counts conserve every access issued.
+
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"talus/internal/cache"
+	"talus/internal/curve"
+	"talus/internal/hash"
+	"talus/internal/partition"
+	"talus/internal/policy"
+)
+
+// newShardedShadowed builds a ShadowedCache (1 logical partition) over an
+// nShards-sharded Vantage/LRU cache of totalLines lines.
+func newShardedShadowed(t testing.TB, nShards int, totalLines int64) (*ShadowedCache, *cache.ShardedCache) {
+	t.Helper()
+	inner, err := cache.NewSharded(nShards, totalLines, 21, func(i int, capLines int64) (cache.Shard, error) {
+		return cache.NewSetAssoc(capLines, 16, partition.NewVantage(2), policy.LRUFactory, uint64(100+i))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewShadowedCache(inner, 1, DefaultMargin, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, inner
+}
+
+// cliffCurve is a miss curve with one sharp cliff, forcing a
+// non-degenerate two-partition Talus configuration at mid sizes.
+func cliffCurve(totalLines int64) *curve.Curve {
+	s := float64(totalLines)
+	return curve.MustNew([]curve.Point{
+		{Size: 0, MPKI: 40},
+		{Size: 1.5 * s, MPKI: 39},
+		{Size: 2 * s, MPKI: 2},
+		{Size: 4 * s, MPKI: 1},
+	})
+}
+
+// TestShadowedConcurrentHammer drives the Talus runtime from many
+// goroutines (batched and unbatched) while another goroutine keeps
+// reprogramming shadow partitions, then checks access conservation.
+func TestShadowedConcurrentHammer(t *testing.T) {
+	const totalLines = 32768
+	sc, inner := newShardedShadowed(t, 8, totalLines)
+	mcurve := cliffCurve(totalLines)
+	budget := inner.PartitionableCapacity()
+	if err := sc.Reconfigure([]int64{budget}, []*curve.Curve{mcurve}); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := sc.Config(0); cfg.Degenerate {
+		t.Fatalf("want a non-degenerate Talus config for the hammer, got %+v", cfg)
+	}
+
+	const (
+		goroutines = 12
+		batches    = 30
+		batchLen   = 512
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := hash.NewSplitMix64(uint64(g)*0x9E3779B97F4A7C15 + 5)
+			addrs := make([]uint64, batchLen)
+			hits := make([]bool, batchLen)
+			for b := 0; b < batches; b++ {
+				for i := range addrs {
+					addrs[i] = rng.Uint64n(totalLines * 4)
+				}
+				if b%2 == 0 {
+					n := sc.AccessBatch(addrs, 0, hits)
+					sum := 0
+					for _, h := range hits {
+						if h {
+							sum++
+						}
+					}
+					if n != sum {
+						t.Errorf("AccessBatch returned %d hits, outcomes sum to %d", n, sum)
+						return
+					}
+				} else {
+					for _, a := range addrs {
+						sc.Access(a, 0)
+					}
+				}
+			}
+		}(g)
+	}
+	// Concurrent reconfiguration: the runtime's 10 ms epoch boundary,
+	// compressed. Each accessor observes either the old or new rate.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 40; r++ {
+			if err := sc.Reconfigure([]int64{budget}, []*curve.Curve{mcurve}); err != nil {
+				t.Errorf("Reconfigure: %v", err)
+				return
+			}
+			_ = sc.Config(0)
+			_ = sc.ShadowSizes()
+		}
+	}()
+	wg.Wait()
+
+	st := inner.Stats()
+	want := int64(goroutines * batches * batchLen)
+	if st.Accesses != want {
+		t.Fatalf("Accesses = %d, want %d", st.Accesses, want)
+	}
+	if st.Hits+st.Misses != st.Accesses {
+		t.Fatalf("Hits (%d) + Misses (%d) != Accesses (%d)", st.Hits, st.Misses, st.Accesses)
+	}
+}
+
+// TestShadowedBatchMatchesLoop checks that AccessBatch over a sharded
+// inner cache produces exactly the outcomes of an Access loop on an
+// identically built stack.
+func TestShadowedBatchMatchesLoop(t *testing.T) {
+	const totalLines = 16384
+	scBatch, _ := newShardedShadowed(t, 4, totalLines)
+	scLoop, _ := newShardedShadowed(t, 4, totalLines)
+	mcurve := cliffCurve(totalLines)
+	for _, sc := range []*ShadowedCache{scBatch, scLoop} {
+		budget := sc.Inner().PartitionableCapacity()
+		if err := sc.Reconfigure([]int64{budget}, []*curve.Curve{mcurve}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := hash.NewSplitMix64(99)
+	const batches, batchLen = 48, 384
+	addrs := make([]uint64, batchLen)
+	hits := make([]bool, batchLen)
+	for b := 0; b < batches; b++ {
+		for i := range addrs {
+			addrs[i] = rng.Uint64n(totalLines * 4)
+		}
+		scBatch.AccessBatch(addrs, 0, hits)
+		for i, a := range addrs {
+			if want := scLoop.Access(a, 0); hits[i] != want {
+				t.Fatalf("batch %d access %d: batch hit=%v, loop hit=%v", b, i, hits[i], want)
+			}
+		}
+	}
+}

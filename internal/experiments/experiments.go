@@ -17,44 +17,19 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strconv"
-	"sync"
 	"text/tabwriter"
 
 	"talus/internal/curve"
+	"talus/internal/sim"
 )
 
-// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS workers.
-// Simulation runs are independent and deterministic per index, so results
-// land in preallocated slots and output never depends on scheduling.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+// parallelFor runs fn(i) for i in [0, n) on the experiment's worker pool
+// (sim.ParallelFor bounded by Config.Parallelism). Simulation runs are
+// independent and deterministic per index, so results land in
+// preallocated slots and output never depends on scheduling.
+func (c Config) parallelFor(n int, fn func(i int)) {
+	sim.ParallelFor(n, sim.Workers(c.Parallelism), fn)
 }
 
 // Config controls experiment scale and output.
@@ -70,6 +45,10 @@ type Config struct {
 	OutDir string
 	// Seed makes runs reproducible; 0 is a valid seed.
 	Seed uint64
+	// Parallelism bounds the worker pool experiments fan sweeps and
+	// mixes across: 0 uses GOMAXPROCS, 1 runs sequentially. Results are
+	// identical at any setting.
+	Parallelism int
 	// W receives the human-readable tables (default os.Stdout).
 	W io.Writer
 }

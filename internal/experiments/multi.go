@@ -71,7 +71,7 @@ func runFig12(cfg Config) error {
 		hs[m.label] = make([]float64, nMixes)
 	}
 	errs := make([]error, nMixes)
-	parallelFor(nMixes, func(mi int) {
+	cfg.parallelFor(nMixes, func(mi int) {
 		apps := mixes[mi]
 		runCfg := func(mode sim.Mode) (*sim.MixResult, error) {
 			return sim.RunMix(sim.MixConfig{
@@ -202,7 +202,7 @@ func runFig13(cfg Config) error {
 		}
 		var refTime float64
 		errs := make([]error, len(sizes)*len(modes)+1)
-		parallelFor(len(sizes)*len(modes)+1, func(k int) {
+		cfg.parallelFor(len(sizes)*len(modes)+1, func(k int) {
 			if k == len(sizes)*len(modes) {
 				ref, err := sim.RunMix(sim.MixConfig{
 					Apps: apps, CapacityLines: int64(curve.MBToLines(sizes[0])),

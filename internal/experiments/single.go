@@ -37,7 +37,7 @@ func sweepOneCurve(cfg Config, app workload.Spec, sizesMB []float64, scheme, pol
 	warm, meas := accessBudget(cfg, maxLines)
 	pts := make([]curve.Point, len(sizes))
 	errs := make([]error, len(sizes))
-	parallelFor(len(sizes), func(i int) {
+	cfg.parallelFor(len(sizes), func(i int) {
 		sc := sim.SweepConfig{
 			App:             app,
 			Scheme:          scheme,
@@ -260,7 +260,7 @@ func ipcComparisonAt(cfg Config, sizeMB float64, apps []string, seed uint64) (ma
 		results[p.label] = make([]float64, len(apps))
 	}
 	errs := make([]error, len(apps))
-	parallelFor(len(apps), func(ai int) {
+	cfg.parallelFor(len(apps), func(ai int) {
 		spec, err := mustSpec(apps[ai])
 		if err != nil {
 			errs[ai] = err

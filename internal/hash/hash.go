@@ -15,6 +15,8 @@
 // key's set bits.
 package hash
 
+import "sync/atomic"
+
 // H3 is a single member of the H3 universal hash family over 64-bit keys,
 // producing values of up to 64 bits. The zero value is not useful; create
 // instances with NewH3.
@@ -89,16 +91,25 @@ func Reduce(hashVal uint64, n int) int {
 // implementation (Fig. 7b). An address goes to the α partition when
 // hash(addr) < limit, otherwise to the β partition. Limit 0 sends
 // everything to β; limit 256 sends everything to α.
+//
+// The limit register is atomic, mirroring how hardware reprograms it
+// between accesses: SetRate may race with concurrent ToAlpha calls
+// without a data race (each access simply observes the old or the new
+// rate). The H3 matrix itself is immutable after construction, so a
+// Sampler is safe for concurrent use by multiple goroutines. Samplers
+// must not be copied after first use.
 type Sampler struct {
 	h     *H3
-	limit uint32 // in [0, 256]
+	limit atomic.Uint32 // in [0, 256]
 }
 
 // NewSampler creates a Sampler with an 8-bit H3 hash drawn from seed.
 // The initial limit is 256 (all accesses to α), which corresponds to an
 // unpartitioned (Talus-disabled) configuration.
 func NewSampler(seed uint64) *Sampler {
-	return &Sampler{h: NewH3(seed, 8), limit: 256}
+	s := &Sampler{h: NewH3(seed, 8)}
+	s.limit.Store(256)
+	return s
 }
 
 // SetRate programs the limit register so that approximately a fraction rho
@@ -106,20 +117,20 @@ func NewSampler(seed uint64) *Sampler {
 func (s *Sampler) SetRate(rho float64) {
 	switch {
 	case rho <= 0:
-		s.limit = 0
+		s.limit.Store(0)
 	case rho >= 1:
-		s.limit = 256
+		s.limit.Store(256)
 	default:
-		s.limit = uint32(rho*256 + 0.5)
+		s.limit.Store(uint32(rho*256 + 0.5))
 	}
 }
 
 // Rate returns the currently programmed sampling fraction, limit/256.
-func (s *Sampler) Rate() float64 { return float64(s.limit) / 256 }
+func (s *Sampler) Rate() float64 { return float64(s.limit.Load()) / 256 }
 
 // ToAlpha reports whether addr routes to the α shadow partition.
 func (s *Sampler) ToAlpha(addr uint64) bool {
-	return uint32(s.h.Hash(addr)) < s.limit
+	return uint32(s.h.Hash(addr)) < s.limit.Load()
 }
 
 // SplitMix64 is the splitmix64 PRNG (Steele, Lea & Flood). It passes

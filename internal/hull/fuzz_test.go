@@ -1,0 +1,77 @@
+// Native fuzzing for the convex-hull pre-processing step. The hull is
+// the curve Talus promises to realize (Theorem 6), so its structural
+// invariants — convexity, lying on or below the input, keeping the
+// endpoints — are load-bearing for every downstream guarantee.
+
+package hull
+
+import (
+	"testing"
+
+	"talus/internal/curve"
+)
+
+// curveFromBytes decodes fuzz input into a valid miss curve: byte pairs
+// become (size-delta, MPKI) points with strictly increasing sizes and
+// finite non-negative values, so every input the fuzzer produces is a
+// curve the rest of the system could hand to Lower.
+func curveFromBytes(data []byte) *curve.Curve {
+	if len(data) < 2 {
+		return nil
+	}
+	pts := make([]curve.Point, 0, len(data)/2)
+	size := 0.0
+	for i := 0; i+1 < len(data); i += 2 {
+		size += float64(data[i]) + 1 // strictly increasing
+		pts = append(pts, curve.Point{Size: size, MPKI: float64(data[i+1]) * 0.5})
+	}
+	return curve.MustNew(pts)
+}
+
+func FuzzConvexHull(f *testing.F) {
+	f.Add([]byte{10, 40, 10, 39, 10, 2, 10, 1})          // one cliff
+	f.Add([]byte{1, 50, 1, 50, 1, 50})                   // flat
+	f.Add([]byte{5, 100, 5, 80, 5, 60, 5, 40, 5, 20})    // linear
+	f.Add([]byte{3, 10, 3, 90, 3, 5, 3, 70, 3, 1})       // non-monotone
+	f.Add([]byte{255, 255, 1, 0, 255, 128, 2, 64, 0, 0}) // extremes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := curveFromBytes(data)
+		if c == nil {
+			return
+		}
+		h := Lower(c)
+
+		// The hull is convex (no cliffs left, Theorem 6).
+		if !h.IsConvex(1e-9) {
+			t.Fatalf("hull not convex: %v from %v", h, c)
+		}
+		// The hull keeps the input's endpoints...
+		if h.PointAt(0) != c.PointAt(0) || h.PointAt(h.NumPoints()-1) != c.PointAt(c.NumPoints()-1) {
+			t.Fatalf("hull endpoints moved: %v from %v", h, c)
+		}
+		// ...selects a subset of the input's points in increasing order...
+		j := 0
+		for i := 0; i < h.NumPoints(); i++ {
+			p := h.PointAt(i)
+			for j < c.NumPoints() && c.PointAt(j) != p {
+				j++
+			}
+			if j == c.NumPoints() {
+				t.Fatalf("hull point %v not in input %v (or out of order)", p, c)
+			}
+		}
+		// ...and lies on or below the input everywhere (checked at every
+		// input vertex; both are piecewise linear on those knots).
+		for i := 0; i < c.NumPoints(); i++ {
+			p := c.PointAt(i)
+			if hv := h.Eval(p.Size); hv > p.MPKI+1e-9 {
+				t.Fatalf("hull above input at size %g: %g > %g", p.Size, hv, p.MPKI)
+			}
+		}
+		// Idempotence: the hull of a hull is itself.
+		h2 := Lower(h)
+		if h2.NumPoints() != h.NumPoints() {
+			t.Fatalf("hull not idempotent: %v -> %v", h, h2)
+		}
+	})
+}

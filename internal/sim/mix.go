@@ -175,6 +175,26 @@ func allocate(mode Mode, curves []*curve.Curve, budget, granule int64) ([]int64,
 // (cores run separate programs; there is no sharing).
 func appSpace(app int) uint64 { return uint64(app+1) << 48 }
 
+// RunMixes simulates many mixes concurrently on a worker pool bounded by
+// parallelism (0 → GOMAXPROCS) and returns their results in input order.
+// Each mix is an independent simulation seeded from its own config, so
+// results are identical to running every mix through RunMix sequentially;
+// the first error (by input order) aborts the return but not the other
+// mixes already in flight.
+func RunMixes(cfgs []MixConfig, parallelism int) ([]*MixResult, error) {
+	results := make([]*MixResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	ParallelFor(len(cfgs), Workers(parallelism), func(i int) {
+		results[i], errs[i] = RunMix(cfgs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: mix %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
 // RunMix simulates one multi-programmed mix and returns per-app results.
 func RunMix(cfg MixConfig) (*MixResult, error) {
 	if err := cfg.defaults(); err != nil {

@@ -1,0 +1,54 @@
+// Bounded worker pool shared by the parallel experiment engine. Sweep
+// points and mixes are independent, deterministically seeded simulations,
+// so fanning them across workers and landing results in preallocated
+// slots keeps output byte-identical to a sequential run regardless of
+// scheduling.
+
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a Parallelism setting to a worker count: values ≤ 0
+// select GOMAXPROCS (use all cores by default), anything else is taken
+// as-is.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines.
+// With one worker (or n == 1) it degenerates to a plain loop on the
+// calling goroutine, so sequential behaviour is exactly the pre-parallel
+// code path.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

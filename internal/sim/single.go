@@ -41,6 +41,13 @@ type SweepConfig struct {
 	MeasureAccesses int64 // per point; 0 → max(4× size, 1M)
 	ProfileAccesses int64 // Talus profiling run; 0 → same as measure
 	Seed            uint64
+
+	// Parallelism bounds the worker pool RunSweep fans points across:
+	// 0 uses GOMAXPROCS, 1 forces the sequential path. Every point runs
+	// an independent simulation from a seed derived from Seed and the
+	// point index, so the resulting curve is byte-identical at any
+	// parallelism level.
+	Parallelism int
 }
 
 func (c *SweepConfig) defaults() {
@@ -85,18 +92,30 @@ func (c *SweepConfig) accessCounts(size int64) (warm, measure int64) {
 
 // RunSweep measures the app's miss curve over the configured sizes and
 // returns it as a Curve (sizes in lines, MPKI per the app's APKI).
+// Points are fanned across a worker pool bounded by cfg.Parallelism;
+// each point simulates independently under a seed derived from Seed and
+// its index, and results land in per-index slots, so the curve is
+// identical point-for-point to a sequential (Parallelism: 1) run.
 func RunSweep(cfg SweepConfig) (*curve.Curve, error) {
 	cfg.defaults()
 	if len(cfg.SizesLines) == 0 {
 		return nil, fmt.Errorf("sim: no sizes to sweep")
 	}
-	pts := make([]curve.Point, 0, len(cfg.SizesLines))
-	for i, size := range cfg.SizesLines {
+	pts := make([]curve.Point, len(cfg.SizesLines))
+	errs := make([]error, len(cfg.SizesLines))
+	ParallelFor(len(cfg.SizesLines), Workers(cfg.Parallelism), func(i int) {
+		size := cfg.SizesLines[i]
 		mpki, err := RunPoint(cfg, size, cfg.Seed+uint64(i)*1_000_003)
 		if err != nil {
-			return nil, fmt.Errorf("sim: size %d: %w", size, err)
+			errs[i] = fmt.Errorf("sim: size %d: %w", size, err)
+			return
 		}
-		pts = append(pts, curve.Point{Size: float64(size), MPKI: mpki})
+		pts[i] = curve.Point{Size: float64(size), MPKI: mpki}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return curve.New(pts)
 }

@@ -15,7 +15,12 @@
 //   - partitioning algorithms (HillClimb, Lookahead, Fair, OptimalDP);
 //   - the SPEC CPU2006 workload clones (Workloads, LookupWorkload) and the
 //     simulation harness (RunSweep, RunMix) that regenerates the paper's
-//     figures.
+//     figures;
+//   - the concurrency layer: a sharded, per-shard-locked cache
+//     (NewShardedCache) that serves concurrent traffic — alone or under
+//     the Talus runtime via batched accesses (AccessBatch) — and the
+//     parallel experiment engine (SweepConfig.Parallelism, RunMixes)
+//     whose results are byte-identical to sequential runs.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results; runnable examples live under examples/.
@@ -24,6 +29,7 @@ package talus
 import (
 	"talus/internal/alloc"
 	"talus/internal/bypass"
+	"talus/internal/cache"
 	"talus/internal/core"
 	"talus/internal/curve"
 	"talus/internal/hull"
@@ -46,6 +52,12 @@ type (
 	ShadowedCache = core.ShadowedCache
 	// PartitionedCache is the cache interface Talus partitions.
 	PartitionedCache = core.PartitionedCache
+	// BatchAccessor is the optional batch extension of PartitionedCache.
+	BatchAccessor = core.BatchAccessor
+	// ShardedCache is a goroutine-safe cache striped across locked shards.
+	ShardedCache = cache.ShardedCache
+	// CacheStats aggregates hit/miss counts over a cache's accesses.
+	CacheStats = cache.Stats
 	// BypassConfig describes an optimal-bypassing operating point.
 	BypassConfig = bypass.Config
 	// WorkloadSpec describes one synthetic application clone.
@@ -112,6 +124,16 @@ func BuildCache(scheme string, capacityLines int64, assoc, numPartitions int, po
 	return sim.BuildCache(scheme, capacityLines, assoc, numPartitions, policyName, threads, seed)
 }
 
+// NewShardedCache constructs a goroutine-safe LLC striped across
+// numShards independently locked shards, each built like BuildCache over
+// its share of the capacity. The result serves concurrent traffic via
+// Access/AccessBatch, aggregates Stats across shards, and — built with
+// 2×N partitions — can back NewShadowedCache so the whole Talus runtime
+// is safe for concurrent use.
+func NewShardedCache(scheme string, capacityLines int64, assoc, numShards, numPartitions int, policyName string, threads int, seed uint64) (*ShardedCache, error) {
+	return sim.BuildShardedCache(scheme, capacityLines, assoc, numShards, numPartitions, policyName, threads, seed)
+}
+
 // OptimalBypass finds the bypass fraction minimizing misses at size s
 // (Eq. 6); BypassCurve evaluates it across sizes (Fig. 6).
 func OptimalBypass(m *MissCurve, s float64) (BypassConfig, error) { return bypass.Optimal(m, s) }
@@ -160,6 +182,13 @@ func RunPoint(cfg SweepConfig, sizeLines int64, seed uint64) (float64, error) {
 
 // RunMix simulates a multi-programmed mix under a management mode.
 func RunMix(cfg MixConfig) (*MixResult, error) { return sim.RunMix(cfg) }
+
+// RunMixes simulates many mixes concurrently on a bounded worker pool
+// (parallelism 0 → GOMAXPROCS); results are identical to sequential
+// RunMix calls, in input order.
+func RunMixes(cfgs []MixConfig, parallelism int) ([]*MixResult, error) {
+	return sim.RunMixes(cfgs, parallelism)
+}
 
 // IPCOf evaluates the analytic core model for an app at a given MPKI.
 func IPCOf(spec WorkloadSpec, mpki float64) float64 { return sim.IPC(spec, mpki) }
