@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"talus/internal/adaptive"
 	"talus/internal/cache"
 	"talus/internal/core"
 	"talus/internal/curve"
@@ -276,6 +277,34 @@ func BenchmarkShadowedShardedBatch(b *testing.B) {
 					addrs[j] = rng.Uint64n(32768)
 				}
 				tc.AccessBatch(addrs, 0, nil)
+				i = 0
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkAdaptiveAccessBatch measures the whole self-tuning stack:
+// per-partition monitor observation, sampler routing, batched sharded
+// access, and the epoch reconfigurations the traffic itself triggers.
+func BenchmarkAdaptiveAccessBatch(b *testing.B) {
+	ac, err := sim.BuildAdaptiveCache("vantage", 16384, 16, 8, 2, "LRU",
+		core.DefaultMargin, adaptive.Config{EpochAccesses: 1 << 18, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchLen = 512
+	b.RunParallel(func(pb *testing.PB) {
+		rng := hash.NewSplitMix64(benchGoroutineSeed.Add(1))
+		part := int(rng.Uint64n(2))
+		addrs := make([]uint64, batchLen)
+		i := batchLen
+		for pb.Next() {
+			if i == batchLen {
+				for j := range addrs {
+					addrs[j] = rng.Uint64n(32768) | uint64(part+1)<<48
+				}
+				ac.AccessBatch(addrs, part, nil)
 				i = 0
 			}
 			i++

@@ -42,6 +42,14 @@ type specFile struct {
 	WorkInstr   int64    `json:"work_instr"`
 	EpochCycles int64    `json:"epoch_cycles"`
 	Seed        uint64   `json:"seed"`
+
+	// Adaptive-runtime fields (used with "adaptive": true): the online
+	// control loop replaces the cycle-driven CPU simulation.
+	Adaptive      bool   `json:"adaptive"`
+	EpochAccesses int64  `json:"epoch_accesses"`
+	Allocator     string `json:"allocator"`
+	Accesses      int64  `json:"accesses_per_app"`
+	Shards        int    `json:"shards"`
 }
 
 func main() {
@@ -53,6 +61,12 @@ func main() {
 		work     = flag.Int64("work", 30<<20, "fixed work per app (instructions)")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool size for concurrent mix simulation")
+
+		adaptiveF = flag.Bool("adaptive", false, "run the online adaptive runtime (monitor→hull→allocator control loop) instead of the cycle-driven CPU simulation")
+		epochF    = flag.Int64("epoch", 0, "adaptive reconfiguration interval in accesses (0 = default)")
+		allocF    = flag.String("alloc", "hill", "adaptive allocator: hill, lookahead, fair, optimal")
+		accessesF = flag.Int64("accesses", 4<<20, "adaptive traffic per app (accesses)")
+		shardsF   = flag.Int("shards", 1, "adaptive cache shard count")
 	)
 	flag.Parse()
 
@@ -68,11 +82,16 @@ func main() {
 		}
 	case *appsFlag != "":
 		spec = specFile{
-			Apps:       strings.Split(*appsFlag, ","),
-			CapacityMB: *mb,
-			Mode:       *mode,
-			WorkInstr:  *work,
-			Seed:       *seed,
+			Apps:          strings.Split(*appsFlag, ","),
+			CapacityMB:    *mb,
+			Mode:          *mode,
+			WorkInstr:     *work,
+			Seed:          *seed,
+			Adaptive:      *adaptiveF,
+			EpochAccesses: *epochF,
+			Allocator:     *allocF,
+			Accesses:      *accessesF,
+			Shards:        *shardsF,
 		}
 	default:
 		flag.Usage()
@@ -86,6 +105,11 @@ func main() {
 			fatal(fmt.Errorf("unknown app %q", name))
 		}
 		apps[i] = s
+	}
+
+	if spec.Adaptive {
+		runAdaptive(spec, apps)
+		return
 	}
 	mixCfg := sim.MixConfig{
 		Apps:          apps,
@@ -117,6 +141,33 @@ func main() {
 		stats.WeightedSpeedup(res.IPC, base.IPC),
 		stats.HarmonicSpeedup(res.IPC, base.IPC),
 		res.Epochs)
+}
+
+// runAdaptive drives the online control loop: no CPU model, no offline
+// curves — the cache measures, convexifies, allocates, and reconfigures
+// itself from its own traffic.
+func runAdaptive(spec specFile, apps []workload.Spec) {
+	res, err := sim.RunAdaptive(sim.AdaptiveConfig{
+		Apps:           apps,
+		CapacityLines:  int64(curve.MBToLines(spec.CapacityMB)),
+		Shards:         spec.Shards,
+		Allocator:      spec.Allocator,
+		EpochAccesses:  spec.EpochAccesses,
+		AccessesPerApp: spec.Accesses,
+		Seed:           spec.Seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tMPKI\tmiss-ratio\talloc-lines\talloc-MB")
+	for i := range res.Apps {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.4f\t%d\t%.3f\n",
+			res.Apps[i], res.MPKI[i], res.MissRatio[i],
+			res.Allocs[i], curve.LinesToMB(float64(res.Allocs[i])))
+	}
+	tw.Flush()
+	fmt.Printf("\nepochs: %d (reconfigurations driven by the access stream)\n", res.Epochs)
 }
 
 func fatal(err error) {

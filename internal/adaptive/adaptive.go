@@ -1,0 +1,321 @@
+// Package adaptive closes the paper's end-to-end control loop (§VI):
+// monitor → hull → Talus → allocator → reconfigure, driven online by the
+// access stream itself. The paper's system is not an offline curve
+// transformer but a self-tuning cache: UMONs observe the live stream,
+// Talus convexifies the measured miss curves, and a partitioning
+// algorithm reallocates capacity every epoch. This package is that loop
+// in software.
+//
+// Cache wraps a core.ShadowedCache and embeds one monitor.EpochMonitor
+// per logical partition on the pre-sampling access stream (monitors must
+// see the full stream; the Talus sampler splits it afterwards). Every
+// EpochAccesses observed accesses, the crossing goroutine:
+//
+//  1. extracts each partition's EWMA miss curve from its monitor bank
+//     (misses per kilo-access, all partitions sharing one denominator so
+//     curve magnitudes compare as absolute miss counts);
+//  2. convexifies the curves (core.Convexify — the Talus pre-processing
+//     step);
+//  3. runs the configured alloc.Allocator over the hulls to divide the
+//     partitionable capacity;
+//  4. live-reconfigures shadow sizes and sampling rates via
+//     core.ShadowedCache.Reconfigure (the raw curves go down too, so
+//     already-convex partitions collapse to a single shadow partition).
+//
+// # Concurrency
+//
+// All methods are safe for concurrent use when the ShadowedCache's inner
+// cache is (wrap it in a cache.ShardedCache). Each partition's monitor is
+// guarded by its own mutex; the epoch step serializes on a TryLock so at
+// most one goroutine reconfigures while the rest keep serving traffic
+// through the immutable-H3 / atomic-limit sampling datapath. Over a
+// single-threaded inner cache the loop still works and is exactly as
+// single-threaded as that cache.
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"talus/internal/alloc"
+	"talus/internal/core"
+	"talus/internal/curve"
+	"talus/internal/monitor"
+)
+
+// DefaultEpochAccesses is the default epoch length: one reconfiguration
+// per 2^20 observed accesses, the software analogue of the paper's 10 ms
+// hardware interval (a few accesses per thousand instructions at GHz
+// rates lands within an order of magnitude of this).
+const DefaultEpochAccesses = 1 << 20
+
+// Config parameterizes the control loop.
+type Config struct {
+	// EpochAccesses is the reconfiguration interval in observed accesses
+	// (all partitions combined); 0 selects DefaultEpochAccesses.
+	EpochAccesses int64
+	// Retain is the monitors' EWMA retention factor in (0, 1);
+	// 0 selects monitor.DefaultRetain (0.5: one-epoch half-life).
+	Retain float64
+	// Allocator divides capacity over the hulls each epoch;
+	// nil selects alloc.HillClimbAllocator (optimal on hulls — the
+	// paper's point is that Talus makes hill climbing sufficient).
+	Allocator alloc.Allocator
+	// Granules is the allocator grid resolution: capacity/Granules lines
+	// per step; 0 selects 64 (the mix simulator's grid).
+	Granules int
+	// Seed derives the monitors' hash functions.
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.EpochAccesses <= 0 {
+		c.EpochAccesses = DefaultEpochAccesses
+	}
+	if c.Retain <= 0 || c.Retain >= 1 {
+		c.Retain = monitor.DefaultRetain
+	}
+	if c.Allocator == nil {
+		c.Allocator = alloc.HillClimbAllocator
+	}
+	if c.Granules <= 0 {
+		c.Granules = 64
+	}
+}
+
+// monSlot is one partition's monitor lane, padded so concurrently
+// accessed lanes do not false-share.
+type monSlot struct {
+	mu       sync.Mutex
+	mon      *monitor.EpochMonitor
+	accesses int64 // observed this epoch (under mu)
+	_        [64]byte
+}
+
+// Cache is the adaptive Talus runtime. Construct with New (or the
+// convenience builder sim.BuildAdaptiveCache / talus.NewAdaptiveCache).
+type Cache struct {
+	sc  *core.ShadowedCache
+	cfg Config
+	n   int
+
+	mons []monSlot
+
+	accTotal  atomic.Int64 // accesses observed since construction
+	nextEpoch atomic.Int64 // accTotal threshold triggering the next epoch
+
+	epochMu    sync.Mutex // serializes the epoch step and guards the fields below
+	epochs     int
+	lastAllocs []int64
+	lastCurves []*curve.Curve
+	lastErr    error
+}
+
+// New wraps an already-configured ShadowedCache in the control loop and
+// programs an initial fair split (ρ = 1 everywhere: plain behaviour until
+// the first epoch has measured curves). The inner cache must be safe for
+// concurrent use if the Cache will be.
+func New(sc *core.ShadowedCache, cfg Config) (*Cache, error) {
+	cfg.defaults()
+	n := sc.NumLogical()
+	budget := sc.Inner().PartitionableCapacity()
+	a := &Cache{
+		sc:         sc,
+		cfg:        cfg,
+		n:          n,
+		mons:       make([]monSlot, n),
+		lastAllocs: make([]int64, n),
+		lastCurves: make([]*curve.Curve, n),
+	}
+	for p := range a.mons {
+		mon, err := monitor.NewEpochMonitor(budget, cfg.Retain, cfg.Seed+uint64(p)*0x9E3779B9)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: partition %d monitor: %w", p, err)
+		}
+		a.mons[p].mon = mon
+	}
+	fair, err := alloc.Fair(n, budget, max(budget/int64(cfg.Granules), 1))
+	if err != nil {
+		return nil, fmt.Errorf("adaptive: initial fair split: %w", err)
+	}
+	// Nil curves make every partition fall back to the degenerate single-
+	// shadow configuration: a fairly partitioned, Talus-less cache.
+	if err := a.sc.Reconfigure(fair, make([]*curve.Curve, n)); err != nil {
+		return nil, fmt.Errorf("adaptive: initial reconfigure: %w", err)
+	}
+	copy(a.lastAllocs, fair)
+	a.nextEpoch.Store(cfg.EpochAccesses)
+	return a, nil
+}
+
+// Access observes one access on partition p's monitor, routes it through
+// the Talus datapath, and reports a hit. Crossing an epoch boundary
+// triggers reconfiguration on the calling goroutine.
+func (a *Cache) Access(addr uint64, p int) bool {
+	s := &a.mons[p]
+	s.mu.Lock()
+	s.mon.Observe(addr)
+	s.accesses++
+	s.mu.Unlock()
+	hit := a.sc.Access(addr, p)
+	a.afterAccesses(1)
+	return hit
+}
+
+// AccessBatch is Access for a batch of one partition's accesses: the
+// monitor lane's lock and the inner cache's shard locks are each taken
+// once per batch. hits, when non-nil, receives per-access outcomes; the
+// return value is the number of hits.
+func (a *Cache) AccessBatch(addrs []uint64, p int, hits []bool) int {
+	if len(addrs) == 0 {
+		return 0
+	}
+	s := &a.mons[p]
+	s.mu.Lock()
+	for _, addr := range addrs {
+		s.mon.Observe(addr)
+	}
+	s.accesses += int64(len(addrs))
+	s.mu.Unlock()
+	n := a.sc.AccessBatch(addrs, p, hits)
+	a.afterAccesses(int64(len(addrs)))
+	return n
+}
+
+// afterAccesses advances the epoch clock and fires the epoch step when
+// the interval has elapsed. TryLock keeps the datapath wait-free: if a
+// reconfiguration is already running, this access's contribution is
+// simply part of the next epoch.
+func (a *Cache) afterAccesses(k int64) {
+	if a.accTotal.Add(k) < a.nextEpoch.Load() {
+		return
+	}
+	if !a.epochMu.TryLock() {
+		return
+	}
+	defer a.epochMu.Unlock()
+	if a.accTotal.Load() < a.nextEpoch.Load() {
+		return // another goroutine already ran this epoch
+	}
+	a.runEpochLocked()
+	a.nextEpoch.Store(a.accTotal.Load() + a.cfg.EpochAccesses)
+}
+
+// ForceEpoch runs one epoch step immediately regardless of the access
+// clock (tests; final-report flushes) and returns its outcome.
+func (a *Cache) ForceEpoch() error {
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	a.runEpochLocked()
+	a.nextEpoch.Store(a.accTotal.Load() + a.cfg.EpochAccesses)
+	return a.lastErr
+}
+
+// runEpochLocked is the control loop body. Caller holds epochMu.
+func (a *Cache) runEpochLocked() {
+	// Drain each lane's epoch access count and extract its EWMA curve.
+	// The denominator is shared across partitions — every curve is
+	// normalized per kilo-access of the whole cache's epoch stream — so
+	// curve heights compare as absolute miss counts and the allocator
+	// minimizes total misses, the analogue of the CPU simulator's
+	// aggregate-MPKI objective.
+	var epochAcc int64
+	for p := range a.mons {
+		s := &a.mons[p]
+		s.mu.Lock()
+		epochAcc += s.accesses
+		s.accesses = 0
+		s.mu.Unlock()
+	}
+	if epochAcc == 0 {
+		// Nothing to measure: a trivially successful epoch (Err's
+		// contract reports the most recent step's outcome).
+		a.lastErr = nil
+		a.epochs++
+		return
+	}
+	units := float64(epochAcc)
+	budget := a.sc.Inner().PartitionableCapacity()
+	for p := range a.mons {
+		s := &a.mons[p]
+		s.mu.Lock()
+		c, err := s.mon.EpochCurve(units)
+		s.mu.Unlock()
+		if err == nil {
+			a.lastCurves[p] = c
+		} else if a.lastCurves[p] == nil {
+			// Never-seen partition: a flat zero curve claims no utility,
+			// so the allocator gives it only leftover capacity.
+			a.lastCurves[p] = curve.MustNew([]curve.Point{
+				{Size: 0, MPKI: 0}, {Size: float64(budget), MPKI: 0},
+			})
+		}
+	}
+
+	hulls := core.Convexify(a.lastCurves)
+	granule := max(budget/int64(a.cfg.Granules), 1)
+	allocs, err := a.cfg.Allocator.Allocate(hulls, budget, granule)
+	if err != nil {
+		a.lastErr = fmt.Errorf("adaptive: epoch %d allocate: %w", a.epochs, err)
+		a.epochs++
+		return
+	}
+	// Reconfigure from the raw curves, not the hulls: Configure's
+	// flat-gain check needs the raw curve to collapse already-convex
+	// partitions to a single shadow partition (interpolating there pays
+	// sampling noise for nothing). The hulls above feed the allocator,
+	// which is what reusing them buys.
+	if err := a.sc.Reconfigure(allocs, a.lastCurves); err != nil {
+		a.lastErr = fmt.Errorf("adaptive: epoch %d reconfigure: %w", a.epochs, err)
+		a.epochs++
+		return
+	}
+	copy(a.lastAllocs, allocs)
+	a.lastErr = nil
+	a.epochs++
+}
+
+// Epochs returns how many epoch steps have run.
+func (a *Cache) Epochs() int {
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	return a.epochs
+}
+
+// Allocations returns the most recent per-partition allocation in lines.
+func (a *Cache) Allocations() []int64 {
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	out := make([]int64, len(a.lastAllocs))
+	copy(out, a.lastAllocs)
+	return out
+}
+
+// Curve returns partition p's most recently extracted miss curve (misses
+// per kilo-access, EWMA over recent epochs), or nil before the first
+// epoch with traffic.
+func (a *Cache) Curve(p int) *curve.Curve {
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	return a.lastCurves[p]
+}
+
+// Err returns the most recent epoch step's error (nil when it succeeded).
+func (a *Cache) Err() error {
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	return a.lastErr
+}
+
+// Config returns partition p's current Talus configuration.
+func (a *Cache) Config(p int) core.Config { return a.sc.Config(p) }
+
+// NumLogical returns the number of software-visible partitions.
+func (a *Cache) NumLogical() int { return a.n }
+
+// Shadowed exposes the wrapped Talus runtime (shadow sizes, inner cache).
+func (a *Cache) Shadowed() *core.ShadowedCache { return a.sc }
+
+// Allocator returns the configured allocation policy.
+func (a *Cache) Allocator() alloc.Allocator { return a.cfg.Allocator }

@@ -1,0 +1,69 @@
+// Allocator: the common interface over the partitioning algorithms, so
+// callers (the epoch simulator, the adaptive runtime, experiments) hold a
+// pluggable policy value instead of switching on names at every
+// reconfiguration.
+
+package alloc
+
+import (
+	"fmt"
+
+	"talus/internal/curve"
+)
+
+// Allocator divides a capacity budget among partitions based on their
+// miss curves. Implementations must be pure (no state mutated by
+// Allocate), so one Allocator value may be shared across goroutines and
+// reconfiguration epochs.
+type Allocator interface {
+	// Name returns the allocator's canonical name (as accepted by ByName).
+	Name() string
+	// Allocate returns per-partition line counts summing to total,
+	// allocated in multiples of granule (plus sub-granule residue).
+	// Curves follow the conventions of this package: piecewise-linear
+	// miss curves, one per partition.
+	Allocate(curves []*curve.Curve, total, granule int64) ([]int64, error)
+}
+
+// allocatorFunc adapts a plain allocation function to the Allocator
+// interface.
+type allocatorFunc struct {
+	name string
+	fn   func(curves []*curve.Curve, total, granule int64) ([]int64, error)
+}
+
+func (a allocatorFunc) Name() string { return a.name }
+func (a allocatorFunc) Allocate(curves []*curve.Curve, total, granule int64) ([]int64, error) {
+	return a.fn(curves, total, granule)
+}
+
+// The package's algorithms as shared, stateless Allocator values.
+var (
+	// HillClimbAllocator is HillClimb: linear-time greedy, optimal on
+	// convex (hulled) curves — the paper's allocator of choice under Talus.
+	HillClimbAllocator Allocator = allocatorFunc{"hill", HillClimb}
+	// LookaheadAllocator is UCP Lookahead: quadratic, copes with cliffs.
+	LookaheadAllocator Allocator = allocatorFunc{"lookahead", Lookahead}
+	// FairAllocator ignores the curves and returns equal shares.
+	FairAllocator Allocator = allocatorFunc{"fair", func(curves []*curve.Curve, total, granule int64) ([]int64, error) {
+		return Fair(len(curves), total, granule)
+	}}
+	// OptimalDPAllocator is the exact dynamic program (tests, ablations).
+	OptimalDPAllocator Allocator = allocatorFunc{"optimal", OptimalDP}
+)
+
+// ByName resolves an allocator name ("hill", "lookahead", "fair",
+// "optimal") to its shared Allocator value.
+func ByName(name string) (Allocator, error) {
+	switch name {
+	case "hill", "hillclimb", "hill-climb":
+		return HillClimbAllocator, nil
+	case "lookahead":
+		return LookaheadAllocator, nil
+	case "fair":
+		return FairAllocator, nil
+	case "optimal", "dp", "optimal-dp":
+		return OptimalDPAllocator, nil
+	}
+	return nil, fmt.Errorf("%w: unknown allocator %q", ErrBadInput, name)
+}

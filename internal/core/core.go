@@ -424,8 +424,24 @@ func (t *ShadowedCache) Config(p int) Config {
 // logical sizes and the per-partition miss curves, applying Theorem 6 with
 // the configured safety margin, coarsening to the scheme's granule, and
 // pushing sizes and sampling rates down to hardware. Curves may be raw
-// measurements; hulls are computed here.
+// measurements; hulls are computed here. See transition for the in-place
+// reconfiguration safety argument.
 func (t *ShadowedCache) Reconfigure(allocations []int64, curves []*curve.Curve) error {
+	return t.reconfigure(allocations, curves, false)
+}
+
+// ReconfigureHulls is Reconfigure for callers that hold only convex
+// hulls (each curve must be its own lower hull, e.g. from Convexify).
+// Unlike Reconfigure, it cannot apply Configure's flat-gain degenerate
+// collapse — that check compares the raw curve against the hull — so
+// partitions whose raw curve was already convex get a (harmless but
+// pointless) shadow split; callers that still have the raw measurements
+// should prefer Reconfigure.
+func (t *ShadowedCache) ReconfigureHulls(allocations []int64, hulls []*curve.Curve) error {
+	return t.reconfigure(allocations, hulls, true)
+}
+
+func (t *ShadowedCache) reconfigure(allocations []int64, curves []*curve.Curve, hulled bool) error {
 	if len(allocations) != t.numLogical || len(curves) != t.numLogical {
 		return fmt.Errorf("core: Reconfigure wants %d allocations and curves, got %d and %d",
 			t.numLogical, len(allocations), len(curves))
@@ -433,9 +449,21 @@ func (t *ShadowedCache) Reconfigure(allocations []int64, curves []*curve.Curve) 
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	granule := float64(t.inner.Granule())
+	// Stage 1: compute every partition's new configuration into locals.
+	// Pure math, and nothing is committed until the hardware push
+	// succeeds, so an error cannot leave Config/ShadowSizes reporting a
+	// configuration the datapath never applied.
+	configs := make([]Config, t.numLogical)
+	shadow := make([]int64, 2*t.numLogical)
 	for p := 0; p < t.numLogical; p++ {
 		alloc := float64(allocations[p])
-		cfg, err := Configure(curves[p], alloc, t.margin)
+		var cfg Config
+		var err error
+		if hulled {
+			cfg, err = ConfigureOnHull(curves[p], alloc, t.margin)
+		} else {
+			cfg, err = Configure(curves[p], alloc, t.margin)
+		}
 		if err != nil {
 			// No usable curve: fall back to a single partition of the
 			// allocated size, which is plain (Talus-less) behaviour.
@@ -443,16 +471,48 @@ func (t *ShadowedCache) Reconfigure(allocations []int64, curves []*curve.Curve) 
 				RhoIdeal: 1, Rho: 1, S1: alloc, Degenerate: true}
 		}
 		cfg = cfg.CoarsenToGranule(granule)
-		t.configs[p] = cfg
+		configs[p] = cfg
 		s1 := int64(math.Round(cfg.S1))
 		if s1 > allocations[p] {
 			s1 = allocations[p]
 		}
-		t.shadow[2*p] = s1
-		t.shadow[2*p+1] = allocations[p] - s1
-		t.samplers[p].SetRate(cfg.Rho)
+		shadow[2*p] = s1
+		shadow[2*p+1] = allocations[p] - s1
 	}
-	return t.inner.SetPartitionSizes(t.shadow)
+	return t.transition(configs, shadow)
+}
+
+// transition applies a computed configuration to the live datapath:
+// partition size targets first, sampler rates second. The ordering
+// matters under concurrent traffic — a sampler's new rate may steer more
+// of the stream toward a shadow partition that is growing, and the
+// growth target must already be programmed when that traffic arrives, or
+// the scheme would evict the new arrivals against the stale (smaller)
+// target. The reverse transient is benign: accesses routed by the old
+// rate into a partition that just shrank merely age out as the scheme
+// converges to the new targets. If the inner cache rejects the sizes,
+// nothing is committed: samplers, Config, and ShadowSizes keep the old
+// configuration, which is still the one the datapath runs.
+//
+// No residency is flushed at any point: the sampler's H3 matrix is
+// immutable and its limit register is threshold-monotone, so when ρ
+// shrinks the new α sampled set is a strict subset of the old one
+// (hash(addr) < limit′ < limit). Lines resident in a shadow partition
+// keep their owner accounting (partition.Scheme occupancy moves only on
+// fill/evict); lines whose addresses re-route simply stop being
+// refreshed and fall out of the old partition at the replacement
+// policy's pace — the same gradual convergence hardware exhibits when
+// the limit register is rewritten between accesses.
+func (t *ShadowedCache) transition(configs []Config, shadow []int64) error {
+	if err := t.inner.SetPartitionSizes(shadow); err != nil {
+		return err
+	}
+	copy(t.configs, configs)
+	copy(t.shadow, shadow)
+	for p := 0; p < t.numLogical; p++ {
+		t.samplers[p].SetRate(configs[p].Rho)
+	}
+	return nil
 }
 
 // ShadowSizes returns the most recently programmed shadow partition sizes

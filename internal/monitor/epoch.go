@@ -1,0 +1,72 @@
+// EpochMonitor: incremental, epoch-driven curve extraction over an
+// LRUMonitor bank. It owns the EWMA bookkeeping that epoch-based callers
+// (the mix simulator, the adaptive runtime) previously open-coded: the
+// monitors' hit counters decay by a retention factor each epoch, and the
+// matching denominator — the effective number of kilo-units observed —
+// decays in lockstep, so the extracted curve is always a consistent EWMA
+// of the recent stream.
+//
+// "Units" are whatever the caller normalizes miss rates by: the CPU
+// simulator passes instructions (curves in MPKI); the adaptive cache
+// runtime passes accesses (curves in misses per kilo-access). The curve's
+// shape — and therefore every Talus and allocator decision — is identical
+// either way; only the y-axis scale differs.
+
+package monitor
+
+import "talus/internal/curve"
+
+// DefaultRetain is the default EWMA retention factor: counters keep half
+// their weight each epoch (a one-epoch half-life), the behaviour of
+// DecayCounters that the phase-adaptation tests were tuned against.
+const DefaultRetain = 0.5
+
+// EpochMonitor wraps an LRUMonitor with per-epoch EWMA curve extraction.
+// It is not goroutine-safe; callers serialize Observe and EpochCurve
+// (the adaptive runtime guards each partition's monitor with a mutex).
+type EpochMonitor struct {
+	mon      *LRUMonitor
+	retain   float64
+	effUnits float64 // EWMA of units, matching the decayed counters
+}
+
+// NewEpochMonitor builds an epoch monitor for an LLC (or partition
+// budget) of llcLines. retain is the EWMA retention factor in [0, 1);
+// 0 selects DefaultRetain (use a tiny positive value for true
+// reset-each-epoch behaviour).
+func NewEpochMonitor(llcLines int64, retain float64, seed uint64) (*EpochMonitor, error) {
+	mon, err := NewLRUMonitor(llcLines, seed)
+	if err != nil {
+		return nil, err
+	}
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	if retain >= 1 {
+		retain = DefaultRetain
+	}
+	return &EpochMonitor{mon: mon, retain: retain}, nil
+}
+
+// Observe feeds one pre-sampling access to the monitor bank.
+func (e *EpochMonitor) Observe(addr uint64) { e.mon.Observe(addr) }
+
+// EpochCurve closes the current epoch: it accounts unitsThisEpoch
+// (instructions or accesses, in units — not kilo-units), extracts the
+// combined miss curve from the EWMA'd counters, then decays counters and
+// denominator for the next epoch. The returned curve is in misses per
+// kilo-unit. An error means the monitors have seen no sampled accesses
+// yet; the epoch still advances.
+func (e *EpochMonitor) EpochCurve(unitsThisEpoch float64) (*curve.Curve, error) {
+	e.effUnits += unitsThisEpoch
+	c, err := e.mon.Curve(e.effUnits / 1000)
+	e.mon.Decay(e.retain)
+	e.effUnits *= e.retain
+	return c, err
+}
+
+// Retain returns the configured EWMA retention factor.
+func (e *EpochMonitor) Retain() float64 { return e.retain }
+
+// Monitor exposes the underlying LRUMonitor bank.
+func (e *EpochMonitor) Monitor() *LRUMonitor { return e.mon }

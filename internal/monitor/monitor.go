@@ -152,12 +152,22 @@ func (u *UMON) ResetCounters() {
 // sampled accesses for a stable curve; decaying instead of resetting
 // integrates history with a one-interval half-life, matching Assumption 1
 // (curves change slowly relative to the interval).
-func (u *UMON) DecayCounters() {
-	for i := range u.hitCtr {
-		u.hitCtr[i] /= 2
+func (u *UMON) DecayCounters() { u.Decay(0.5) }
+
+// Decay scales all counters by retain in [0, 1), generalizing
+// DecayCounters to an arbitrary EWMA retention factor: retain 0 resets
+// each interval (no history), retain near 1 integrates many intervals
+// (stable curves, slow phase tracking).
+func (u *UMON) Decay(retain float64) {
+	if retain <= 0 {
+		u.ResetCounters()
+		return
 	}
-	u.misses /= 2
-	u.accesses /= 2
+	for i := range u.hitCtr {
+		u.hitCtr[i] = int64(float64(u.hitCtr[i]) * retain)
+	}
+	u.misses = int64(float64(u.misses) * retain)
+	u.accesses = int64(float64(u.accesses) * retain)
 }
 
 // Reset clears everything including tags.
@@ -287,10 +297,13 @@ func (m *LRUMonitor) ResetCounters() {
 }
 
 // DecayCounters halves all monitors' counters (see UMON.DecayCounters).
-func (m *LRUMonitor) DecayCounters() {
-	m.sub.DecayCounters()
-	m.fine.DecayCounters()
-	m.coarse.DecayCounters()
+func (m *LRUMonitor) DecayCounters() { m.Decay(0.5) }
+
+// Decay scales all monitors' counters by retain (see UMON.Decay).
+func (m *LRUMonitor) Decay(retain float64) {
+	m.sub.Decay(retain)
+	m.fine.Decay(retain)
+	m.coarse.Decay(retain)
 }
 
 // PolicyMonitor models one point of a non-stack policy's miss curve: a

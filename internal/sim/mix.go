@@ -154,21 +154,38 @@ func buildMixCache(cfg *MixConfig) (mixCache, bool, error) {
 	return nil, false, fmt.Errorf("sim: unknown mode %q", cfg.Mode)
 }
 
-// allocate runs the mode's allocation algorithm.
-func allocate(mode Mode, curves []*curve.Curve, budget, granule int64) ([]int64, error) {
+// allocatorFor maps a management mode to its allocation policy and
+// whether curves are convexified (the Talus pre-processing step) before
+// allocation. Callers hold the alloc.Allocator value instead of
+// re-switching on mode names each epoch.
+func allocatorFor(mode Mode) (a alloc.Allocator, convexify bool, err error) {
 	switch mode {
 	case ModeFairLRU, ModeTalusFair:
-		return alloc.Fair(len(curves), budget, granule)
+		// Fair ignores the curves, so even under Talus there is nothing
+		// to convexify here (Reconfigure hulls the curves itself).
+		return alloc.FairAllocator, false, nil
 	case ModeHillLRU:
-		return alloc.HillClimb(curves, budget, granule)
+		return alloc.HillClimbAllocator, false, nil
 	case ModeLookaheadLRU:
-		return alloc.Lookahead(curves, budget, granule)
+		return alloc.LookaheadAllocator, false, nil
 	case ModeTalusHill:
-		return alloc.HillClimb(core.Convexify(curves), budget, granule)
+		return alloc.HillClimbAllocator, true, nil
 	case ModeTalusLookahead:
-		return alloc.Lookahead(core.Convexify(curves), budget, granule)
+		return alloc.LookaheadAllocator, true, nil
 	}
-	return nil, fmt.Errorf("sim: mode %q does not allocate", mode)
+	return nil, false, fmt.Errorf("sim: mode %q does not allocate", mode)
+}
+
+// allocate runs the mode's allocation algorithm.
+func allocate(mode Mode, curves []*curve.Curve, budget, granule int64) ([]int64, error) {
+	a, convexify, err := allocatorFor(mode)
+	if err != nil {
+		return nil, err
+	}
+	if convexify {
+		curves = core.Convexify(curves)
+	}
+	return a.Allocate(curves, budget, granule)
 }
 
 // appSpace offsets each app's addresses into a disjoint address space
@@ -207,11 +224,11 @@ func RunMix(cfg MixConfig) (*MixResult, error) {
 	}
 
 	apps := make([]*workload.App, n)
-	mons := make([]*monitor.LRUMonitor, n)
+	mons := make([]*monitor.EpochMonitor, n)
 	for i, spec := range cfg.Apps {
 		apps[i] = workload.NewApp(spec, cfg.Seed+uint64(i)*7919)
 		if managed {
-			mons[i], err = monitor.NewLRUMonitor(cfg.CapacityLines, cfg.Seed+uint64(i)*104729)
+			mons[i], err = monitor.NewEpochMonitor(cfg.CapacityLines, monitor.DefaultRetain, cfg.Seed+uint64(i)*104729)
 			if err != nil {
 				return nil, err
 			}
@@ -232,7 +249,6 @@ func RunMix(cfg MixConfig) (*MixResult, error) {
 
 	curves := make([]*curve.Curve, n)
 	allocs := make([]int64, n)
-	effInstr := make([]float64, n) // EWMA instruction count matching the monitors' decayed counters
 	var cycles float64
 	epoch := 0
 
@@ -316,22 +332,19 @@ func RunMix(cfg MixConfig) (*MixResult, error) {
 			break
 		}
 
-		// Reconfigure for the next epoch. Monitor counters decay rather
+		// Reconfigure for the next epoch. The epoch monitors decay rather
 		// than reset, so curves integrate history with a one-epoch
-		// half-life; effInstr tracks the matching instruction count.
+		// half-life (monitor.EpochMonitor owns the EWMA bookkeeping).
 		if managed {
 			ok := true
 			for i := range mons {
 				instr := float64(epochAcc[i]) * 1000 / cfg.Apps[i].APKI
-				effInstr[i] += instr
-				c, err := mons[i].Curve(effInstr[i] / 1000)
+				c, err := mons[i].EpochCurve(instr)
 				if err != nil {
 					ok = false
 					break
 				}
 				curves[i] = c
-				mons[i].DecayCounters()
-				effInstr[i] /= 2
 			}
 			if ok {
 				budget := mc.Budget()

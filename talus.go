@@ -20,13 +20,20 @@
 //     (NewShardedCache) that serves concurrent traffic — alone or under
 //     the Talus runtime via batched accesses (AccessBatch) — and the
 //     parallel experiment engine (SweepConfig.Parallelism, RunMixes)
-//     whose results are byte-identical to sequential runs.
+//     whose results are byte-identical to sequential runs;
+//   - the online control loop (NewAdaptiveCache): an epoch-driven
+//     runtime that monitors the live stream with per-partition UMONs,
+//     convexifies the measured curves, runs a pluggable Allocator over
+//     the hulls, and live-reconfigures shadow sizes and sampling rates —
+//     the paper's self-tuning end-to-end system (§VI), goroutine-safe
+//     over a sharded inner cache.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results; runnable examples live under examples/.
 package talus
 
 import (
+	"talus/internal/adaptive"
 	"talus/internal/alloc"
 	"talus/internal/bypass"
 	"talus/internal/cache"
@@ -70,7 +77,33 @@ type (
 	MixResult = sim.MixResult
 	// Mode names a multi-program cache-management scheme.
 	Mode = sim.Mode
+	// Allocator is the pluggable capacity-partitioning policy interface.
+	Allocator = alloc.Allocator
+	// AdaptiveCache is the online monitor→hull→Talus→allocator loop.
+	AdaptiveCache = adaptive.Cache
+	// AdaptiveConfig parameterizes the adaptive control loop.
+	AdaptiveConfig = adaptive.Config
+	// AdaptiveRunConfig parameterizes RunAdaptive experiments.
+	AdaptiveRunConfig = sim.AdaptiveConfig
+	// AdaptiveRunResult reports an adaptive run's steady-state outcomes.
+	AdaptiveRunResult = sim.AdaptiveResult
 )
+
+// Shared allocator values (all stateless and goroutine-safe).
+var (
+	// HillClimbAllocator is greedy hill climbing — optimal on hulls.
+	HillClimbAllocator = alloc.HillClimbAllocator
+	// LookaheadAllocator is UCP's Lookahead heuristic.
+	LookaheadAllocator = alloc.LookaheadAllocator
+	// FairAllocator returns equal shares.
+	FairAllocator = alloc.FairAllocator
+	// OptimalDPAllocator is the exact dynamic program.
+	OptimalDPAllocator = alloc.OptimalDPAllocator
+)
+
+// AllocatorByName resolves "hill", "lookahead", "fair", or "optimal" to
+// its shared Allocator value.
+func AllocatorByName(name string) (Allocator, error) { return alloc.ByName(name) }
 
 // DefaultMargin is the paper's 5% sampling-rate safety margin (§VI-B).
 const DefaultMargin = core.DefaultMargin
@@ -133,6 +166,21 @@ func BuildCache(scheme string, capacityLines int64, assoc, numPartitions int, po
 func NewShardedCache(scheme string, capacityLines int64, assoc, numShards, numPartitions int, policyName string, threads int, seed uint64) (*ShardedCache, error) {
 	return sim.BuildShardedCache(scheme, capacityLines, assoc, numShards, numPartitions, policyName, threads, seed)
 }
+
+// NewAdaptiveCache constructs the zero-config adaptive serving stack: a
+// sharded LLC with 2×numPartitions shadow partitions, the Talus runtime
+// over it, and the epoch-driven control loop over that. Feed traffic
+// with Access/AccessBatch; the cache measures miss curves, convexifies
+// them, and reallocates capacity every cfg.EpochAccesses accesses. With
+// numShards > 1 the whole stack is safe for concurrent use.
+func NewAdaptiveCache(scheme string, capacityLines int64, assoc, numShards, numPartitions int, policyName string, margin float64, cfg AdaptiveConfig) (*AdaptiveCache, error) {
+	return sim.BuildAdaptiveCache(scheme, capacityLines, assoc, numShards, numPartitions, policyName, margin, cfg)
+}
+
+// RunAdaptive drives one adaptive-runtime experiment: per-app traffic
+// interleaved into an AdaptiveCache, miss rates measured over the
+// converged tail.
+func RunAdaptive(cfg AdaptiveRunConfig) (*AdaptiveRunResult, error) { return sim.RunAdaptive(cfg) }
 
 // OptimalBypass finds the bypass fraction minimizing misses at size s
 // (Eq. 6); BypassCurve evaluates it across sizes (Fig. 6).

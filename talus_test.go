@@ -118,6 +118,38 @@ func TestPublicAPIAllocators(t *testing.T) {
 	}
 }
 
+func TestPublicAPIAdaptive(t *testing.T) {
+	for _, name := range []string{"hill", "lookahead", "fair", "optimal"} {
+		if _, err := AllocatorByName(name); err != nil {
+			t.Fatalf("AllocatorByName(%q): %v", name, err)
+		}
+	}
+	ac, err := NewAdaptiveCache("vantage", 8192, 16, 2, 2, "LRU", DefaultMargin,
+		AdaptiveConfig{EpochAccesses: 1 << 14, Allocator: HillClimbAllocator, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]uint64, 256)
+	for round := 0; round < 400; round++ {
+		for p := 0; p < 2; p++ {
+			for i := range batch {
+				batch[i] = uint64(round*256+i)%4096 | uint64(p+1)<<48
+			}
+			ac.AccessBatch(batch, p, nil)
+		}
+	}
+	if ac.Epochs() == 0 {
+		t.Fatal("adaptive cache never reconfigured")
+	}
+	allocs := ac.Allocations()
+	if len(allocs) != 2 || allocs[0]+allocs[1] <= 0 {
+		t.Fatalf("bad allocations %v", allocs)
+	}
+	if err := ac.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPublicAPIWorkloads(t *testing.T) {
 	if len(Workloads()) != 29 {
 		t.Fatalf("Workloads() = %d names, want 29", len(Workloads()))
