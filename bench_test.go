@@ -30,10 +30,12 @@ import (
 
 // --- figure/table regeneration benches --------------------------------
 
-// benchExperiment runs one experiment at benchmark (Tiny) scale.
+// benchExperiment runs one experiment at benchmark (Tiny) scale; under
+// `go test -short` it drops to the Short smoke scale so the full
+// `-bench . -benchtime 1x -short` suite finishes in under a minute.
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
-	cfg := experiments.Config{Tiny: true, Seed: 42, W: io.Discard}
+	cfg := experiments.Config{Tiny: true, Short: testing.Short(), Seed: 42, W: io.Discard}
 	for i := 0; i < b.N; i++ {
 		if err := experiments.Run(name, cfg); err != nil {
 			b.Fatal(err)

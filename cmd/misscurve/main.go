@@ -55,7 +55,7 @@ func main() {
 
 	if *traceTo != "" {
 		gen := workload.NewApp(spec, *seed)
-		if err := trace.WriteFile(*traceTo, trace.Record(gen.Next, *traceN)); err != nil {
+		if err := trace.WriteFile(*traceTo, trace.Capture(gen.Next, *traceN)); err != nil {
 			fmt.Fprintf(os.Stderr, "misscurve: %v\n", err)
 			os.Exit(1)
 		}

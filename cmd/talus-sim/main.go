@@ -6,8 +6,10 @@
 //
 //	talus-sim -spec mix.json
 //	talus-sim -apps mcf,lbm,omnetpp,xalancbmk -mode talus-hill -mb 4
+//	talus-sim -spec mix.json -mb 8 -seed 7     # flags override spec fields
+//	talus-sim -adaptive -trace mix.trc -mb 8   # exact replay of a recording
 //
-// Spec file format:
+// Spec file format (unknown keys are rejected):
 //
 //	{
 //	  "apps": ["mcf", "lbm", "omnetpp", "xalancbmk"],
@@ -15,17 +17,21 @@
 //	  "mode": "talus-hill",
 //	  "work_instr": 52428800,
 //	  "epoch_cycles": 1048576,
-//	  "seed": 42
+//	  "seed": 42,
+//	  "trace_files": ["mix.trc"]
 //	}
+//
+// Apps name registry clones or "trace:<path>" recordings; trace_files
+// (or -trace) adds every partition of the listed recordings as a
+// replayed app. Explicitly-set command-line flags override the
+// corresponding spec fields.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"text/tabwriter"
 
 	"talus/internal/curve"
@@ -34,77 +40,90 @@ import (
 	"talus/internal/workload"
 )
 
-// specFile mirrors the JSON schema.
-type specFile struct {
-	Apps        []string `json:"apps"`
-	CapacityMB  float64  `json:"capacity_mb"`
-	Mode        string   `json:"mode"`
-	WorkInstr   int64    `json:"work_instr"`
-	EpochCycles int64    `json:"epoch_cycles"`
-	Seed        uint64   `json:"seed"`
-
-	// Adaptive-runtime fields (used with "adaptive": true): the online
-	// control loop replaces the cycle-driven CPU simulation.
-	Adaptive      bool   `json:"adaptive"`
-	EpochAccesses int64  `json:"epoch_accesses"`
-	Allocator     string `json:"allocator"`
-	Accesses      int64  `json:"accesses_per_app"`
-	Shards        int    `json:"shards"`
-}
-
 func main() {
 	var (
 		specPath = flag.String("spec", "", "JSON simulation spec")
-		appsFlag = flag.String("apps", "", "comma-separated app list (alternative to -spec)")
+		appsFlag = flag.String("apps", "", "comma-separated app list (registry clones or trace:<path>)")
 		mode     = flag.String("mode", "talus-hill", "management mode (lru, tadrrip, hill-lru, lookahead-lru, fair-lru, talus-hill, talus-fair)")
 		mb       = flag.Float64("mb", 8, "LLC capacity in MB")
 		work     = flag.Int64("work", 30<<20, "fixed work per app (instructions)")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker pool size for concurrent mix simulation")
+		traceF   = flag.String("trace", "", "comma-separated trace files replayed as apps (exact adaptive replay when it is the only source)")
 
 		adaptiveF = flag.Bool("adaptive", false, "run the online adaptive runtime (monitor→hull→allocator control loop) instead of the cycle-driven CPU simulation")
 		epochF    = flag.Int64("epoch", 0, "adaptive reconfiguration interval in accesses (0 = default)")
 		allocF    = flag.String("alloc", "hill", "adaptive allocator: hill, lookahead, fair, optimal")
 		accessesF = flag.Int64("accesses", 4<<20, "adaptive traffic per app (accesses)")
 		shardsF   = flag.Int("shards", 1, "adaptive cache shard count")
+		batchF    = flag.Int("batch", 0, "adaptive accesses per batch (0 = default 2048; match the recording for exact trace replay)")
+		tailF     = flag.Float64("tail", 0, "adaptive trailing fraction measured for steady-state rates (0 = default 0.5)")
 	)
 	flag.Parse()
 
+	vals := flagValues{
+		apps: *appsFlag, mode: *mode, mb: *mb, work: *work, seed: *seed,
+		adaptive: *adaptiveF, epoch: *epochF, alloc: *allocF,
+		accesses: *accessesF, shards: *shardsF, batch: *batchF,
+		tail: *tailF, traces: *traceF,
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
 	var spec specFile
-	switch {
-	case *specPath != "":
-		raw, err := os.ReadFile(*specPath)
-		if err != nil {
+	if *specPath != "" {
+		var err error
+		if spec, err = loadSpec(*specPath); err != nil {
 			fatal(err)
 		}
-		if err := json.Unmarshal(raw, &spec); err != nil {
-			fatal(fmt.Errorf("parsing %s: %w", *specPath, err))
-		}
-	case *appsFlag != "":
+		// Explicit flags override the spec's fields.
+		spec.applyFlags(set, vals)
+	} else if *appsFlag != "" || *traceF != "" {
+		// No spec: every flag is authoritative, set or not.
 		spec = specFile{
-			Apps:          strings.Split(*appsFlag, ","),
+			Apps:          splitList(*appsFlag),
 			CapacityMB:    *mb,
 			Mode:          *mode,
 			WorkInstr:     *work,
 			Seed:          *seed,
+			TraceFiles:    splitList(*traceF),
 			Adaptive:      *adaptiveF,
 			EpochAccesses: *epochF,
 			Allocator:     *allocF,
 			Accesses:      *accessesF,
 			Shards:        *shardsF,
+			BatchLen:      *batchF,
+			TailFrac:      *tailF,
 		}
-	default:
+	} else {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	apps := make([]workload.Spec, len(spec.Apps))
-	for i, name := range spec.Apps {
-		s, ok := workload.Lookup(strings.TrimSpace(name))
-		if !ok {
-			fatal(fmt.Errorf("unknown app %q", name))
+	// An adaptive run whose only source is one trace file replays the
+	// recorded stream exactly (same interleaving, same batching).
+	if spec.Adaptive && len(spec.Apps) == 0 && len(spec.TraceFiles) == 1 {
+		runAdaptiveTrace(spec)
+		return
+	}
+
+	apps := make([]workload.Spec, 0, len(spec.Apps))
+	for _, name := range spec.Apps {
+		s, err := workload.Resolve(name)
+		if err != nil {
+			fatal(err)
 		}
-		apps[i] = s
+		apps = append(apps, s)
+	}
+	for _, path := range spec.TraceFiles {
+		traced, err := sim.SpecsFromTrace(path)
+		if err != nil {
+			fatal(fmt.Errorf("trace %s: %w", path, err))
+		}
+		apps = append(apps, traced...)
+	}
+	if len(apps) == 0 {
+		fatal(fmt.Errorf("no apps: give -apps, -trace, or spec fields"))
 	}
 
 	if spec.Adaptive {
@@ -143,22 +162,43 @@ func main() {
 		res.Epochs)
 }
 
-// runAdaptive drives the online control loop: no CPU model, no offline
-// curves — the cache measures, convexifies, allocates, and reconfigures
-// itself from its own traffic.
-func runAdaptive(spec specFile, apps []workload.Spec) {
-	res, err := sim.RunAdaptive(sim.AdaptiveConfig{
-		Apps:           apps,
+// adaptiveCfg maps the shared spec fields onto an AdaptiveConfig.
+func adaptiveCfg(spec specFile) sim.AdaptiveConfig {
+	return sim.AdaptiveConfig{
 		CapacityLines:  int64(curve.MBToLines(spec.CapacityMB)),
 		Shards:         spec.Shards,
 		Allocator:      spec.Allocator,
 		EpochAccesses:  spec.EpochAccesses,
 		AccessesPerApp: spec.Accesses,
+		BatchLen:       spec.BatchLen,
+		TailFrac:       spec.TailFrac,
 		Seed:           spec.Seed,
-	})
+	}
+}
+
+// runAdaptive drives the online control loop: no CPU model, no offline
+// curves — the cache measures, convexifies, allocates, and reconfigures
+// itself from its own traffic.
+func runAdaptive(spec specFile, apps []workload.Spec) {
+	cfg := adaptiveCfg(spec)
+	cfg.Apps = apps
+	res, err := sim.RunAdaptive(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	printAdaptive(res)
+}
+
+// runAdaptiveTrace replays a recorded stream through the adaptive loop.
+func runAdaptiveTrace(spec specFile) {
+	res, err := sim.RunAdaptiveTraceFile(adaptiveCfg(spec), spec.TraceFiles[0])
+	if err != nil {
+		fatal(err)
+	}
+	printAdaptive(res)
+}
+
+func printAdaptive(res *sim.AdaptiveResult) {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\tMPKI\tmiss-ratio\talloc-lines\talloc-MB")
 	for i := range res.Apps {

@@ -1,0 +1,208 @@
+// Command talus-trace records, replays, and inspects binary address
+// traces (internal/trace). A recorded mix replayed at the same seed and
+// batch length is byte-identical to the live generator stream, so
+// replay results match live runs exactly — traces are the repeatable
+// currency of the experiment suite.
+//
+// Usage:
+//
+//	talus-trace record -apps mcf,lbm -o mix.trc -n 4194304
+//	talus-trace replay -trace mix.trc -mb 8 -alloc hill
+//	talus-trace stat -trace mix.trc
+//
+// record captures the named workloads' interleaved stream (with
+// per-app core-model metadata embedded) to a gzip-compressed trace.
+// replay drives the online adaptive runtime (monitor → hull → Talus →
+// allocator) from the trace and reports per-partition steady-state miss
+// rates and allocations. stat prints the trace's header and
+// per-partition shape without simulating anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"talus/internal/curve"
+	"talus/internal/sim"
+	"talus/internal/trace"
+	"talus/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "talus-trace: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "talus-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  talus-trace record -apps <a,b,...> -o <file> [-n accesses] [-batch len] [-seed s] [-gzip=bool]
+  talus-trace replay -trace <file> [-mb size] [-alloc name] [-epoch n] [-shards n] [-batch len] [-tail frac] [-seed s]
+  talus-trace stat   -trace <file>
+`)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		appsFlag = fs.String("apps", "", "comma-separated workload names (registry clones or trace:<path>)")
+		out      = fs.String("o", "", "output trace file")
+		n        = fs.Int64("n", 4<<20, "accesses per app")
+		batch    = fs.Int("batch", 2048, "accesses per interleaving batch")
+		seed     = fs.Uint64("seed", 42, "random seed (replays match live runs at the same seed)")
+		gz       = fs.Bool("gzip", true, "gzip-compress the trace body")
+	)
+	fs.Parse(args)
+	if *appsFlag == "" || *out == "" {
+		return fmt.Errorf("record needs -apps and -o")
+	}
+	var specs []workload.Spec
+	for _, name := range strings.Split(*appsFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue // tolerate stray commas
+		}
+		spec, err := workload.Resolve(name)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("record: -apps named no workloads")
+	}
+	count, err := sim.RecordSpecs(*out, specs, *n, *batch, *seed, *gz)
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses (%d apps × %d) to %s: %d bytes, %.2f bytes/access\n",
+		count, len(specs), *n, *out, info.Size(), float64(info.Size())/float64(count))
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		path   = fs.String("trace", "", "trace file to replay")
+		mb     = fs.Float64("mb", 8, "LLC capacity in MB")
+		alloc  = fs.String("alloc", "hill", "allocator: hill, lookahead, fair, optimal")
+		epoch  = fs.Int64("epoch", 0, "reconfiguration interval in accesses (0 = default)")
+		shards = fs.Int("shards", 1, "cache shard count")
+		batch  = fs.Int("batch", 2048, "accesses per batch (match the recording for exact replay)")
+		tail   = fs.Float64("tail", 0.5, "trailing fraction measured for steady-state rates")
+		seed   = fs.Uint64("seed", 42, "cache seed (match the recording for exact replay)")
+	)
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("replay needs -trace")
+	}
+	res, err := sim.RunAdaptiveTraceFile(sim.AdaptiveConfig{
+		CapacityLines: int64(curve.MBToLines(*mb)),
+		Shards:        *shards,
+		Allocator:     *alloc,
+		EpochAccesses: *epoch,
+		BatchLen:      *batch,
+		TailFrac:      *tail,
+		Seed:          *seed,
+	}, *path)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "partition\tapp\tMPKI\tmiss-ratio\talloc-lines\talloc-MB")
+	for i := range res.Apps {
+		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.4f\t%d\t%.3f\n",
+			i, res.Apps[i], res.MPKI[i], res.MissRatio[i],
+			res.Allocs[i], curve.LinesToMB(float64(res.Allocs[i])))
+	}
+	tw.Flush()
+	fmt.Printf("\nepochs: %d (reconfigurations driven by the replayed stream)\n", res.Epochs)
+	return nil
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file to inspect")
+	fs.Parse(args)
+	if *path == "" && fs.NArg() == 1 {
+		*path = fs.Arg(0)
+	}
+	if *path == "" {
+		return fmt.Errorf("stat needs -trace")
+	}
+	tr, err := trace.Load(*path)
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(*path)
+	if err != nil {
+		return err
+	}
+	h := tr.Header
+	var flags []string
+	if h.Flags&trace.FlagGzip != 0 {
+		flags = append(flags, "gzip")
+	}
+	if h.Flags&trace.FlagMeta != 0 {
+		flags = append(flags, "meta")
+	}
+	if len(flags) == 0 {
+		flags = append(flags, "none")
+	}
+	fmt.Printf("%s: version %d, flags %s, %d partitions, %d records, %d bytes (%.2f bytes/record)\n",
+		*path, h.Version, strings.Join(flags, "+"), h.NumPartitions,
+		len(tr.Records), info.Size(), float64(info.Size())/float64(max(len(tr.Records), 1)))
+
+	streams := tr.PartitionStreams()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "partition\tapp\taccesses\tdistinct-lines\tfootprint-MB\tAPKI\tCPIbase\tMLP")
+	for p := 0; p < tr.NumPartitions(); p++ {
+		name, apki, cpi, mlp := "-", "-", "-", "-"
+		if m, ok := tr.Meta(p); ok {
+			name = m.Name
+			apki = fmt.Sprintf("%.3g", m.APKI)
+			cpi = fmt.Sprintf("%.3g", m.CPIBase)
+			mlp = fmt.Sprintf("%.3g", m.MLP)
+		}
+		distinct := distinctLines(streams[p])
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.3f\t%s\t%s\t%s\n",
+			p, name, len(streams[p]), distinct, curve.LinesToMB(float64(distinct)), apki, cpi, mlp)
+	}
+	return tw.Flush()
+}
+
+func distinctLines(addrs []uint64) int64 {
+	seen := make(map[uint64]struct{}, len(addrs)/4+1)
+	for _, a := range addrs {
+		seen[a] = struct{}{}
+	}
+	return int64(len(seen))
+}

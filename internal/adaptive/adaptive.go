@@ -149,10 +149,21 @@ func New(sc *core.ShadowedCache, cfg Config) (*Cache, error) {
 	return a, nil
 }
 
+// checkPartition validates a caller-supplied partition index once, at
+// the API boundary: an out-of-range p would otherwise panic deep inside
+// monSlot indexing with a bare bounds error.
+func (a *Cache) checkPartition(p int) {
+	if p < 0 || p >= a.n {
+		panic(fmt.Sprintf("adaptive: partition %d out of range [0,%d)", p, a.n))
+	}
+}
+
 // Access observes one access on partition p's monitor, routes it through
 // the Talus datapath, and reports a hit. Crossing an epoch boundary
-// triggers reconfiguration on the calling goroutine.
+// triggers reconfiguration on the calling goroutine. p must be in
+// [0, NumLogical()); anything else panics with a descriptive message.
 func (a *Cache) Access(addr uint64, p int) bool {
+	a.checkPartition(p)
 	s := &a.mons[p]
 	s.mu.Lock()
 	s.mon.Observe(addr)
@@ -168,6 +179,7 @@ func (a *Cache) Access(addr uint64, p int) bool {
 // once per batch. hits, when non-nil, receives per-access outcomes; the
 // return value is the number of hits.
 func (a *Cache) AccessBatch(addrs []uint64, p int, hits []bool) int {
+	a.checkPartition(p)
 	if len(addrs) == 0 {
 		return 0
 	}
@@ -294,8 +306,9 @@ func (a *Cache) Allocations() []int64 {
 
 // Curve returns partition p's most recently extracted miss curve (misses
 // per kilo-access, EWMA over recent epochs), or nil before the first
-// epoch with traffic.
+// epoch with traffic. p must be in [0, NumLogical()).
 func (a *Cache) Curve(p int) *curve.Curve {
+	a.checkPartition(p)
 	a.epochMu.Lock()
 	defer a.epochMu.Unlock()
 	return a.lastCurves[p]
@@ -308,8 +321,12 @@ func (a *Cache) Err() error {
 	return a.lastErr
 }
 
-// Config returns partition p's current Talus configuration.
-func (a *Cache) Config(p int) core.Config { return a.sc.Config(p) }
+// Config returns partition p's current Talus configuration. p must be
+// in [0, NumLogical()).
+func (a *Cache) Config(p int) core.Config {
+	a.checkPartition(p)
+	return a.sc.Config(p)
+}
 
 // NumLogical returns the number of software-visible partitions.
 func (a *Cache) NumLogical() int { return a.n }

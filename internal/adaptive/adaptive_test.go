@@ -1,6 +1,8 @@
 package adaptive_test
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -128,5 +130,41 @@ func TestAdaptiveRaceHammer(t *testing.T) {
 	// The loop must still be live after the hammer: force one more epoch.
 	if err := ac.ForceEpoch(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPartitionRangeValidation is the regression test for the
+// out-of-range partition bug: Access/AccessBatch/Curve/Config with a
+// bad p used to panic deep inside monSlot indexing with a bare bounds
+// error; they must now fail fast with a descriptive message.
+func TestPartitionRangeValidation(t *testing.T) {
+	ac := buildAdaptive(t, 4096, 1, 2, adaptive.Config{Seed: 1})
+	wantPanic := func(name string, p int, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s(p=%d): no panic", name, p)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, fmt.Sprintf("partition %d out of range [0,2)", p)) {
+				t.Fatalf("%s(p=%d): panic = %v, want descriptive range message", name, p, r)
+			}
+		}()
+		fn()
+	}
+	for _, p := range []int{-1, 2, 100} {
+		wantPanic("Access", p, func() { ac.Access(1, p) })
+		wantPanic("AccessBatch", p, func() { ac.AccessBatch([]uint64{1}, p, nil) })
+		wantPanic("Curve", p, func() { ac.Curve(p) })
+		wantPanic("Config", p, func() { ac.Config(p) })
+	}
+	// In-range indices still work.
+	ac.Access(1, 0)
+	if n := ac.AccessBatch([]uint64{1, 2}, 1, nil); n < 0 {
+		t.Fatal("valid batch failed")
+	}
+	if c := ac.Curve(1); c != nil {
+		t.Fatalf("curve before first epoch = %v", c)
 	}
 }

@@ -37,10 +37,16 @@ type Config struct {
 	// Quick shrinks sweeps and access counts (~10× faster) for smoke
 	// runs; Tiny shrinks further for Go benchmarks (bench_test.go), where
 	// each figure must regenerate in seconds; Full expands to paper-scale
-	// sweeps. Precedence: Tiny > Quick > Full.
+	// sweeps. Precedence: Short > Tiny > Quick > Full.
 	Quick bool
 	Tiny  bool
 	Full  bool
+	// Short shrinks below Tiny for CI smoke runs (bench_test.go sets it
+	// from testing.Short()): minimum sweep points, two mixes, and a
+	// single-lap fixed-work floor in the fairness study, so the whole
+	// `-bench . -benchtime 1x -short` suite finishes in well under a
+	// minute. Numbers at this scale are execution smoke, not results.
+	Short bool
 	// OutDir, when non-empty, receives one CSV per experiment.
 	OutDir string
 	// Seed makes runs reproducible; 0 is a valid seed.
@@ -212,6 +218,8 @@ func mbSizes(mbs []float64) []int64 {
 func sweepSizes(cfg Config, lo, hi float64, quickN, defN, fullN int) []float64 {
 	n := defN
 	switch {
+	case cfg.Short:
+		n = 2
 	case cfg.Tiny:
 		n = 3
 	case cfg.Quick:
@@ -236,6 +244,9 @@ func accessBudget(cfg Config, lines int64) (int64, int64) {
 	meas := 3 * lines
 	floorW, floorM := int64(1<<19), int64(1<<20)
 	switch {
+	case cfg.Short:
+		warm, meas = lines/2, lines
+		floorW, floorM = 1<<16, 1<<17
 	case cfg.Tiny:
 		warm, meas = lines, lines
 		floorW, floorM = 1<<17, 1<<18

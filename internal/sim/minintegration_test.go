@@ -20,7 +20,7 @@ func TestMINConvexOnCloneTrace(t *testing.T) {
 		t.Fatal("omnetpp missing")
 	}
 	app := workload.NewApp(spec, 99)
-	tr := trace.Record(app.Next, 1<<18)
+	tr := trace.Capture(app.Next, 1<<18)
 
 	// Capacities around the clone's working sets, coarse steps.
 	caps := []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16}

@@ -1,0 +1,227 @@
+// Trace-driven experiments: record the exact access stream a live run
+// would generate, and replay it through the same machinery. Recording
+// happens at the feeder level (the same interleaving FeedAdaptive
+// drives), and addresses are stored in each generator's private space —
+// the per-app address-space offset (appSpace) is applied by the feeders
+// on both the live and replay paths, so a recorded stream replayed at
+// the same batch length is byte-identical to the live one and produces
+// identical miss counts on an identically built cache.
+
+package sim
+
+import (
+	"fmt"
+	"os"
+
+	"talus/internal/adaptive"
+	"talus/internal/alloc"
+	"talus/internal/curve"
+	"talus/internal/trace"
+	"talus/internal/workload"
+)
+
+// RecordApps writes the interleaved stream FeedAdaptive would feed —
+// accessesPerApp accesses per app in round-robin batches of batchLen —
+// to w, one record per access, without the appSpace offset (feeders
+// re-apply it at replay).
+func RecordApps(w *trace.Writer, apps []*workload.App, accessesPerApp int64, batchLen int) error {
+	if batchLen <= 0 {
+		batchLen = 2048
+	}
+	n := len(apps)
+	fed := make([]int64, n)
+	for done := false; !done; {
+		done = true
+		for i, app := range apps {
+			left := accessesPerApp - fed[i]
+			if left <= 0 {
+				continue
+			}
+			done = false
+			k := int64(batchLen)
+			if k > left {
+				k = left
+			}
+			for j := int64(0); j < k; j++ {
+				if err := w.Append(i, app.Next()); err != nil {
+					return err
+				}
+			}
+			fed[i] += k
+		}
+	}
+	return nil
+}
+
+// RecordSpecs instantiates specs with RunAdaptive's per-app seeds
+// (seed + i*7919), records their interleaved stream to path with
+// per-app metadata embedded, and reports the record count. A trace
+// recorded at seed S replays — via RunAdaptiveTrace on an identically
+// configured cache — exactly as RunAdaptive(cfg with Seed S) runs live.
+func RecordSpecs(path string, specs []workload.Spec, accessesPerApp int64, batchLen int, seed uint64, gz bool) (int64, error) {
+	if len(specs) == 0 {
+		return 0, fmt.Errorf("sim: recording needs apps")
+	}
+	if accessesPerApp <= 0 {
+		accessesPerApp = 4 << 20
+	}
+	apps := make([]*workload.App, len(specs))
+	metas := make([]trace.AppMeta, len(specs))
+	for i, spec := range specs {
+		apps[i] = workload.NewApp(spec, seed+uint64(i)*7919)
+		metas[i] = trace.AppMeta{Name: spec.Name, APKI: spec.APKI, CPIBase: spec.CPIBase, MLP: spec.MLP}
+	}
+	opts := []trace.WriterOption{trace.WithApps(metas)}
+	if gz {
+		opts = append(opts, trace.WithGzip())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w, err := trace.NewWriter(f, len(specs), opts...)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := RecordApps(w, apps, accessesPerApp, batchLen); err != nil {
+		f.Close()
+		return 0, err
+	}
+	count := w.Count()
+	if err := w.Close(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return count, f.Close()
+}
+
+// SpecsFromTrace loads path and returns one workload.Spec per recorded
+// partition, each replaying that partition's sub-stream — trace-backed
+// apps for RunMix, RunSweep, or RunAdaptive.
+func SpecsFromTrace(path string) ([]workload.Spec, error) {
+	t, err := trace.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return t.Specs()
+}
+
+// FeedAdaptiveTrace feeds a loaded trace through ac: records stream in
+// recorded order, maximal same-partition runs fed as batches capped at
+// batchLen, the appSpace offset applied exactly as FeedAdaptive does.
+// Returns per-partition miss and access counts over each partition's
+// trailing tailFrac of its recorded accesses.
+func FeedAdaptiveTrace(ac BatchCache, tr *trace.Trace, batchLen int, tailFrac float64) (misses, accs []int64) {
+	if batchLen <= 0 {
+		batchLen = 2048
+	}
+	if tailFrac <= 0 || tailFrac > 1 {
+		tailFrac = 0.5
+	}
+	n := tr.NumPartitions()
+	misses = make([]int64, n)
+	accs = make([]int64, n)
+	totals := tr.Counts()
+	tailStart := make([]int64, n)
+	for p, total := range totals {
+		tailStart[p] = total - int64(tailFrac*float64(total))
+	}
+	fed := make([]int64, n)
+	batch := make([]uint64, batchLen)
+	hits := make([]bool, batchLen)
+	recs := tr.Records
+	for i := 0; i < len(recs); {
+		p := recs[i].P
+		space := appSpace(p)
+		k := 0
+		for i < len(recs) && recs[i].P == p && k < batchLen {
+			batch[k] = recs[i].Addr | space
+			k++
+			i++
+		}
+		ac.AccessBatch(batch[:k], p, hits[:k])
+		for j := 0; j < k; j++ {
+			if fed[p]+int64(j) >= tailStart[p] {
+				accs[p]++
+				if !hits[j] {
+					misses[p]++
+				}
+			}
+		}
+		fed[p] += int64(k)
+	}
+	return misses, accs
+}
+
+// RunAdaptiveTrace drives one adaptive run from a recorded trace
+// instead of live generators: the cache is built for the trace's
+// partition count and fed the recorded stream. cfg.Apps is optional
+// (metadata embedded in the trace, or defaults, name the partitions and
+// scale MPKI); cfg.AccessesPerApp is ignored — the trace determines the
+// traffic.
+func RunAdaptiveTrace(cfg AdaptiveConfig, tr *trace.Trace) (*AdaptiveResult, error) {
+	if cfg.CapacityLines <= 0 {
+		return nil, fmt.Errorf("sim: adaptive trace run needs capacity")
+	}
+	n := tr.NumPartitions()
+	if len(cfg.Apps) != 0 && len(cfg.Apps) != n {
+		return nil, fmt.Errorf("sim: %d apps for a %d-partition trace", len(cfg.Apps), n)
+	}
+	specs := cfg.Apps
+	if len(specs) == 0 {
+		var err error
+		if specs, err = tr.Specs(); err != nil {
+			return nil, err
+		}
+	}
+	// Borrow the generator-driven config's defaulting for the shared
+	// knobs (allocator, margin, batch length, tail fraction).
+	probe := cfg
+	probe.Apps = specs
+	if err := probe.defaults(); err != nil {
+		return nil, err
+	}
+	allocator, err := alloc.ByName(probe.Allocator)
+	if err != nil {
+		return nil, err
+	}
+	ac, err := BuildAdaptiveCache(probe.Scheme, probe.CapacityLines, probe.Assoc, probe.Shards, n,
+		probe.Policy, probe.Margin, adaptive.Config{
+			EpochAccesses: probe.EpochAccesses,
+			Retain:        probe.Retain,
+			Allocator:     allocator,
+			Seed:          probe.Seed,
+		})
+	if err != nil {
+		return nil, err
+	}
+	misses, accs := FeedAdaptiveTrace(ac, tr, probe.BatchLen, probe.TailFrac)
+
+	res := &AdaptiveResult{
+		Apps:      make([]string, n),
+		MPKI:      make([]float64, n),
+		MissRatio: make([]float64, n),
+		Allocs:    ac.Allocations(),
+		Curves:    make([]*curve.Curve, n),
+		Epochs:    ac.Epochs(),
+	}
+	for p := 0; p < n; p++ {
+		res.Apps[p] = specs[p].Name
+		res.Curves[p] = ac.Curve(p)
+		if accs[p] > 0 {
+			res.MissRatio[p] = float64(misses[p]) / float64(accs[p])
+			res.MPKI[p] = mpkiOf(misses[p], accs[p], specs[p].APKI)
+		}
+	}
+	return res, nil
+}
+
+// RunAdaptiveTraceFile is RunAdaptiveTrace over a trace file path.
+func RunAdaptiveTraceFile(cfg AdaptiveConfig, path string) (*AdaptiveResult, error) {
+	tr, err := trace.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return RunAdaptiveTrace(cfg, tr)
+}

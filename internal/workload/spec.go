@@ -17,7 +17,52 @@
 // approximate MPKI scale and memory intensity.
 package workload
 
-import "talus/internal/curve"
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"talus/internal/curve"
+)
+
+// sources maps a "<prefix>:" scheme to a resolver building a Spec from
+// the text after the colon. Packages that can turn external inputs into
+// workloads register here (internal/trace registers "trace" so
+// "trace:<path>" names a recorded stream anywhere an app name is
+// accepted).
+var (
+	sourcesMu sync.RWMutex
+	sources   = map[string]func(arg string) (Spec, error){}
+)
+
+// RegisterSource installs a resolver for "<prefix>:<arg>" workload
+// names. Registration happens at init time; re-registering a prefix
+// panics.
+func RegisterSource(prefix string, fn func(arg string) (Spec, error)) {
+	sourcesMu.Lock()
+	defer sourcesMu.Unlock()
+	if _, dup := sources[prefix]; dup {
+		panic(fmt.Sprintf("workload: source %q registered twice", prefix))
+	}
+	sources[prefix] = fn
+}
+
+// Resolve returns the Spec a workload name denotes: a registry clone
+// name ("mcf"), or a registered source reference ("trace:run.trc").
+func Resolve(name string) (Spec, error) {
+	if s, ok := Lookup(name); ok {
+		return s, nil
+	}
+	if prefix, arg, ok := strings.Cut(name, ":"); ok {
+		sourcesMu.RLock()
+		fn := sources[prefix]
+		sourcesMu.RUnlock()
+		if fn != nil {
+			return fn(arg)
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown app %q (not a registry clone or registered source)", name)
+}
 
 // hugeLines is the footprint of the "never fits" background stream
 // (512 MB), standing in for streaming data and page-table walks.

@@ -38,6 +38,45 @@ type Pattern interface {
 	Clone() Pattern
 }
 
+// Validate checks that a pattern (recursively, for composites) touches
+// at least one line: degenerate footprints otherwise surface only deep
+// inside generation — Scan{Lines: 0} loops forever on address 0 and
+// Rand{Lines: 0} panics in Uint64n — so composite constructors and
+// NewApp reject them up front with a descriptive error.
+func Validate(p Pattern) error {
+	switch v := p.(type) {
+	case *Mix:
+		if len(v.comps) == 0 {
+			return fmt.Errorf("workload: mix with no components")
+		}
+		for i, c := range v.comps {
+			if err := Validate(c.Pattern); err != nil {
+				return fmt.Errorf("mix component %d: %w", i, err)
+			}
+		}
+	case *Phased:
+		if len(v.Stages) == 0 {
+			return fmt.Errorf("workload: phased pattern with no stages")
+		}
+		for i, s := range v.Stages {
+			if s.Pattern == nil {
+				return fmt.Errorf("workload: phased stage %d has no pattern", i)
+			}
+			if s.Length < 1 {
+				return fmt.Errorf("workload: phased stage %d length %d < 1", i, s.Length)
+			}
+			if err := Validate(s.Pattern); err != nil {
+				return fmt.Errorf("phased stage %d: %w", i, err)
+			}
+		}
+	default:
+		if f := p.Footprint(); f < 1 {
+			return fmt.Errorf("workload: %T footprint %d < 1 line", p, f)
+		}
+	}
+	return nil
+}
+
 // --- Primitives --------------------------------------------------------
 
 // Scan cycles sequentially through Lines addresses: the canonical
@@ -202,6 +241,9 @@ func NewMix(comps ...Component) (*Mix, error) {
 		if c.Weight <= 0 || c.Pattern == nil {
 			return nil, fmt.Errorf("workload: bad component %d", i)
 		}
+		if err := Validate(c.Pattern); err != nil {
+			return nil, fmt.Errorf("workload: component %d: %w", i, err)
+		}
 		total += c.Weight
 		m.cum[i] = total
 	}
@@ -246,6 +288,16 @@ func (m *Mix) Clone() Pattern {
 		comps[i] = Component{Pattern: c.Pattern.Clone(), Weight: c.Weight}
 	}
 	return MustMix(comps...)
+}
+
+// NewPhased validates stages (at least one, each with a valid pattern
+// and positive length) and builds a Phased pattern.
+func NewPhased(stages ...Stage) (*Phased, error) {
+	p := &Phased{Stages: stages}
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Phased rotates through stages, running each for its length in accesses.
@@ -315,11 +367,20 @@ type App struct {
 	rng     *hash.SplitMix64
 }
 
-// NewApp instantiates spec with the given seed.
+// NewApp instantiates spec with the given seed. It panics with a
+// descriptive error when the built pattern has a degenerate (< 1 line)
+// footprint — the misuse otherwise surfaces as an address-0 loop or a
+// panic deep inside Uint64n (composite constructors return the same
+// validation as an error; a bare Scan/Rand literal has no constructor
+// to return one from).
 func NewApp(spec Spec, seed uint64) *App {
+	pattern := spec.Build()
+	if err := Validate(pattern); err != nil {
+		panic(fmt.Sprintf("workload: app %q: %v", spec.Name, err))
+	}
 	return &App{
 		Spec:    spec,
-		pattern: spec.Build(),
+		pattern: pattern,
 		rng:     hash.NewSplitMix64(seed),
 	}
 }

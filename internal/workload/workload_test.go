@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"talus/internal/curve"
@@ -247,4 +248,122 @@ func TestInstrPerAccess(t *testing.T) {
 	if got := app.InstrPerAccess(); got != 50 {
 		t.Fatalf("InstrPerAccess = %g, want 50", got)
 	}
+}
+
+// TestDegenerateFootprintsRejected is the regression test for the
+// zero-footprint bug: Scan{Lines: 0} used to loop forever on address 0
+// and Rand{Lines: 0} panicked inside Uint64n; both must now be rejected
+// at spec-build time with a descriptive error.
+func TestDegenerateFootprintsRejected(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Pattern
+	}{
+		{"scan-zero", &Scan{Lines: 0}},
+		{"scan-negative", &Scan{Lines: -5}},
+		{"rand-zero", &Rand{Lines: 0}},
+		{"zipf-zero", &Zipf{Lines: 0, S: 1.1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Validate(tc.p); err == nil || !strings.Contains(err.Error(), "footprint") {
+				t.Fatalf("Validate = %v, want footprint error", err)
+			}
+			if _, err := NewMix(Component{tc.p, 1}); err == nil {
+				t.Fatal("NewMix accepted a degenerate component")
+			}
+			if _, err := NewPhased(Stage{tc.p, 100}); err == nil {
+				t.Fatal("NewPhased accepted a degenerate stage")
+			}
+		})
+	}
+}
+
+func TestPhasedValidation(t *testing.T) {
+	if _, err := NewPhased(); err == nil {
+		t.Fatal("NewPhased with no stages must fail")
+	}
+	if _, err := NewPhased(Stage{&Scan{Lines: 4}, 0}); err == nil {
+		t.Fatal("NewPhased with zero-length stage must fail")
+	}
+	if _, err := NewPhased(Stage{nil, 10}); err == nil {
+		t.Fatal("NewPhased with nil pattern must fail")
+	}
+	p, err := NewPhased(Stage{&Scan{Lines: 4}, 10}, Stage{&Rand{Lines: 8}, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Footprint() != 8 {
+		t.Fatalf("footprint = %d", p.Footprint())
+	}
+}
+
+// TestNewAppPanicsOnDegenerateSpec covers bare primitives that bypass
+// the composite constructors: NewApp validates the built pattern.
+func TestNewAppPanicsOnDegenerateSpec(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewApp accepted a zero-footprint pattern")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "footprint") {
+			t.Fatalf("panic = %v, want footprint message", r)
+		}
+	}()
+	NewApp(Spec{
+		Name: "bad", APKI: 1, CPIBase: 1, MLP: 1,
+		Build: func() Pattern { return &Rand{Lines: 0} },
+	}, 1)
+}
+
+// TestRegistryValidates ensures every registry clone still builds under
+// the new validation (all footprints are ≥ 1 by construction).
+func TestRegistryValidates(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := Lookup(name)
+		if err := Validate(spec.Build()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if _, err := Resolve("mcf"); err != nil {
+		t.Fatalf("registry name: %v", err)
+	}
+	if _, err := Resolve("no-such-app"); err == nil {
+		t.Fatal("unknown app resolved")
+	}
+	if _, err := Resolve("nosuchsource:arg"); err == nil {
+		t.Fatal("unknown source resolved")
+	}
+	RegisterSource("testsrc", func(arg string) (Spec, error) {
+		return Spec{Name: arg, APKI: 1, CPIBase: 1, MLP: 1,
+			Build: func() Pattern { return &Scan{Lines: 2} }}, nil
+	})
+	spec, err := Resolve("testsrc:hello")
+	if err != nil || spec.Name != "hello" {
+		t.Fatalf("source resolve = %+v, %v", spec, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate source registration must panic")
+		}
+	}()
+	RegisterSource("testsrc", nil)
+}
+
+// TestEmptyMixRejected: a zero-value &Mix{} must fail Validate (and
+// NewApp), not pass the Mix arm vacuously and panic at m.comps[i] on
+// the first Next.
+func TestEmptyMixRejected(t *testing.T) {
+	if err := Validate(&Mix{}); err == nil {
+		t.Fatal("Validate accepted an empty mix")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewApp accepted an empty mix")
+		}
+	}()
+	NewApp(Spec{Name: "empty", APKI: 1, CPIBase: 1, MLP: 1,
+		Build: func() Pattern { return &Mix{} }}, 1)
 }

@@ -182,6 +182,30 @@ func NewAdaptiveCache(scheme string, capacityLines int64, assoc, numShards, numP
 // converged tail.
 func RunAdaptive(cfg AdaptiveRunConfig) (*AdaptiveRunResult, error) { return sim.RunAdaptive(cfg) }
 
+// RecordTrace captures the named specs' interleaved access stream — the
+// exact stream RunAdaptive would feed at the same seed — to a binary
+// trace file (internal/trace format) with per-app metadata embedded,
+// returning the record count. gz enables gzip compression.
+func RecordTrace(path string, specs []WorkloadSpec, accessesPerApp int64, batchLen int, seed uint64, gz bool) (int64, error) {
+	return sim.RecordSpecs(path, specs, accessesPerApp, batchLen, seed, gz)
+}
+
+// RunAdaptiveTraceFile replays a recorded trace through the adaptive
+// runtime: the cache is built for the trace's partition count and fed
+// the recorded stream, reproducing the live run exactly at matching
+// seed and batch length. cfg.Apps and cfg.AccessesPerApp are optional —
+// the trace carries the traffic and (when recorded with metadata) the
+// app parameters.
+func RunAdaptiveTraceFile(cfg AdaptiveRunConfig, path string) (*AdaptiveRunResult, error) {
+	return sim.RunAdaptiveTraceFile(cfg, path)
+}
+
+// WorkloadsFromTrace loads a recorded trace and returns one spec per
+// recorded partition, each replaying its sub-stream — trace-backed apps
+// for RunMix, RunSweep, or RunAdaptive. Anywhere an app name is
+// accepted, "trace:<path>" resolves to the trace's flattened stream.
+func WorkloadsFromTrace(path string) ([]WorkloadSpec, error) { return sim.SpecsFromTrace(path) }
+
 // OptimalBypass finds the bypass fraction minimizing misses at size s
 // (Eq. 6); BypassCurve evaluates it across sizes (Fig. 6).
 func OptimalBypass(m *MissCurve, s float64) (BypassConfig, error) { return bypass.Optimal(m, s) }
