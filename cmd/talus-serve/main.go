@@ -1,0 +1,159 @@
+// Command talus-serve is the HTTP serving front-end: a keyed cache
+// service over the adaptive Talus runtime. Clients store and fetch
+// bytes by (tenant, key); underneath, every request drives the
+// monitor → hull → Talus → allocator control loop, so capacity flows
+// between tenants as their measured miss curves evolve — the paper's
+// self-tuning system (§VI) with a network in front of it.
+//
+// Usage:
+//
+//	talus-serve [-addr :8080] [-mb 8] [-shards n] [-partitions n]
+//	            [-tenants a,b,...] [-scheme vantage] [-policy LRU]
+//	            [-alloc hill] [-assoc 32] [-epoch n] [-epoch-interval 1s]
+//	            [-max-value 1048576] [-record-dir dir] [-seed s]
+//
+// Routes:
+//
+//	GET/PUT/DELETE /v1/cache/{tenant}/{key}    keyed bytes (X-Talus-Cache: hit|miss)
+//	GET  /v1/stats                             per-tenant counters + allocations
+//	GET  /v1/curves                            live measured + hulled miss curves
+//	POST /v1/record                            start/stop trace capture (needs -record-dir)
+//
+// A captured trace replays offline through talus-trace replay (or
+// talus.RunAdaptiveTraceFile), closing the loop between served traffic
+// and the experiment suite. SIGINT/SIGTERM shut down gracefully:
+// in-flight requests drain, recording flushes, the epoch ticker stops.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"talus"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		mb         = flag.Float64("mb", 8, "LLC capacity in MB")
+		shards     = flag.Int("shards", 8, "independently locked cache shards")
+		partitions = flag.Int("partitions", 0, "logical partitions / max tenants (0 = 8, or the tenant count)")
+		tenants    = flag.String("tenants", "", "comma-separated tenant names to pre-register (others register on first use)")
+		static     = flag.Bool("static-tenants", false, "serve only the pre-registered -tenants")
+		scheme     = flag.String("scheme", "vantage", "partitioning scheme: none, way, set, vantage, futility, ideal")
+		policy     = flag.String("policy", "LRU", "replacement policy: LRU, SRRIP, BRRIP, DRRIP, TA-DRRIP, DIP, PDP, Random")
+		allocName  = flag.String("alloc", "hill", "epoch allocator: hill, lookahead, fair, optimal")
+		assoc      = flag.Int("assoc", 32, "set associativity")
+		epoch      = flag.Int64("epoch", 0, "reconfiguration interval in accesses (0 = 2^20)")
+		interval   = flag.Duration("epoch-interval", time.Second, "wall-clock reconfiguration interval (0 disables the ticker)")
+		maxValue   = flag.Int64("max-value", 1<<20, "maximum value size in bytes")
+		recordDir  = flag.String("record-dir", "", "directory POST /v1/record may write traces into (empty disables the endpoint)")
+		seed       = flag.Uint64("seed", 42, "deterministic seed for hashes, samplers, monitors")
+	)
+	flag.Parse()
+	if err := run(*addr, *mb, *shards, *partitions, *tenants, *static, *scheme, *policy,
+		*allocName, *assoc, *epoch, *interval, *maxValue, *recordDir, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "talus-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, mb float64, shards, partitions int, tenantList string, static bool,
+	scheme, policy, allocName string, assoc int, epoch int64, interval time.Duration,
+	maxValue int64, recordDir string, seed uint64) error {
+	allocator, err := talus.AllocatorByName(allocName)
+	if err != nil {
+		return err
+	}
+	opts := []talus.Option{
+		talus.WithCapacityMB(mb),
+		talus.WithShards(shards),
+		talus.WithScheme(scheme),
+		talus.WithPolicy(policy),
+		talus.WithAssoc(assoc),
+		talus.WithSeed(seed),
+		talus.WithAllocator(allocator),
+		talus.WithEpochInterval(interval),
+		talus.WithMaxValueBytes(maxValue),
+	}
+	if partitions > 0 {
+		opts = append(opts, talus.WithPartitions(partitions))
+	}
+	if names := splitTenants(tenantList); len(names) > 0 {
+		if static {
+			opts = append(opts, talus.WithStaticTenants(names...))
+		} else {
+			opts = append(opts, talus.WithTenants(names...))
+		}
+	} else if static {
+		return errors.New("-static-tenants needs -tenants")
+	}
+	if epoch > 0 {
+		opts = append(opts, talus.WithAdaptive(talus.AdaptiveConfig{
+			EpochAccesses: epoch,
+			EpochInterval: interval,
+			Allocator:     allocator,
+			Seed:          seed,
+		}))
+	}
+	st, err := talus.NewStore(opts...)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           talus.NewServeHandler(st, talus.ServeConfig{MaxValueBytes: maxValue, RecordDir: recordDir}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("talus-serve: listening on %s (%.1f MB, %d shards, %d partitions, %s/%s, alloc %s)",
+			addr, mb, shards, st.Cache().NumLogical(), scheme, policy, allocName)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // ListenAndServe failed before shutdown (e.g. bad addr)
+	case <-ctx.Done():
+	}
+	log.Printf("talus-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("closing store: %w", err)
+	}
+	for _, ts := range st.StatsAll() {
+		log.Printf("talus-serve: tenant %s: %d gets, %d sets, hit ratio %.3f, %.2f MB allocated",
+			ts.Tenant, ts.Gets, ts.Sets, ts.HitRatio, talus.LinesToMB(float64(ts.AllocLines)))
+	}
+	return nil
+}
+
+// splitTenants parses the -tenants list, tolerating stray commas.
+func splitTenants(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}

@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -158,15 +159,37 @@ func cmdStat(args []string) error {
 	if *path == "" {
 		return fmt.Errorf("stat needs -trace")
 	}
-	tr, err := trace.Load(*path)
+	// Stream the records rather than loading them: memory scales with
+	// the trace's footprint (distinct lines), not its length, so stat
+	// works on traces larger than RAM.
+	r, err := trace.OpenFile(*path)
 	if err != nil {
 		return err
+	}
+	defer r.Close()
+	h := r.Header()
+	counts := make([]int64, h.NumPartitions)
+	distinct := make([]map[uint64]struct{}, h.NumPartitions)
+	for p := range distinct {
+		distinct[p] = make(map[uint64]struct{})
+	}
+	var records int64
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		counts[rec.P]++
+		distinct[rec.P][rec.Addr] = struct{}{}
+		records++
 	}
 	info, err := os.Stat(*path)
 	if err != nil {
 		return err
 	}
-	h := tr.Header
 	var flags []string
 	if h.Flags&trace.FlagGzip != 0 {
 		flags = append(flags, "gzip")
@@ -179,30 +202,21 @@ func cmdStat(args []string) error {
 	}
 	fmt.Printf("%s: version %d, flags %s, %d partitions, %d records, %d bytes (%.2f bytes/record)\n",
 		*path, h.Version, strings.Join(flags, "+"), h.NumPartitions,
-		len(tr.Records), info.Size(), float64(info.Size())/float64(max(len(tr.Records), 1)))
+		records, info.Size(), float64(info.Size())/float64(max(records, 1)))
 
-	streams := tr.PartitionStreams()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "partition\tapp\taccesses\tdistinct-lines\tfootprint-MB\tAPKI\tCPIbase\tMLP")
-	for p := 0; p < tr.NumPartitions(); p++ {
+	for p := 0; p < h.NumPartitions; p++ {
 		name, apki, cpi, mlp := "-", "-", "-", "-"
-		if m, ok := tr.Meta(p); ok {
+		if h.Apps != nil && p < len(h.Apps) {
+			m := h.Apps[p]
 			name = m.Name
 			apki = fmt.Sprintf("%.3g", m.APKI)
 			cpi = fmt.Sprintf("%.3g", m.CPIBase)
 			mlp = fmt.Sprintf("%.3g", m.MLP)
 		}
-		distinct := distinctLines(streams[p])
 		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.3f\t%s\t%s\t%s\n",
-			p, name, len(streams[p]), distinct, curve.LinesToMB(float64(distinct)), apki, cpi, mlp)
+			p, name, counts[p], len(distinct[p]), curve.LinesToMB(float64(len(distinct[p]))), apki, cpi, mlp)
 	}
 	return tw.Flush()
-}
-
-func distinctLines(addrs []uint64) int64 {
-	seen := make(map[uint64]struct{}, len(addrs)/4+1)
-	for _, a := range addrs {
-		seen[a] = struct{}{}
-	}
-	return int64(len(seen))
 }

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"talus/internal/alloc"
 	"talus/internal/core"
@@ -65,6 +66,14 @@ type Config struct {
 	// Granules is the allocator grid resolution: capacity/Granules lines
 	// per step; 0 selects 64 (the mix simulator's grid).
 	Granules int
+	// EpochInterval, when positive, adds a wall-clock epoch trigger: a
+	// background ticker drives the same TryLock epoch step the access
+	// clock does, so lightly loaded caches still reconfigure on time
+	// (the access-count trigger alone waits for EpochAccesses, which an
+	// idle serving cache may take minutes to reach). Zero keeps the
+	// control loop purely access-driven with no background goroutine.
+	// Callers that set this must Close the cache to stop the ticker.
+	EpochInterval time.Duration
 	// Seed derives the monitors' hash functions.
 	Seed uint64
 }
@@ -110,6 +119,10 @@ type Cache struct {
 	lastAllocs []int64
 	lastCurves []*curve.Curve
 	lastErr    error
+
+	tickStop  chan struct{} // nil without EpochInterval
+	tickDone  chan struct{}
+	closeOnce sync.Once
 }
 
 // New wraps an already-configured ShadowedCache in the control loop and
@@ -146,7 +159,49 @@ func New(sc *core.ShadowedCache, cfg Config) (*Cache, error) {
 	}
 	copy(a.lastAllocs, fair)
 	a.nextEpoch.Store(cfg.EpochAccesses)
+	if cfg.EpochInterval > 0 {
+		a.tickStop = make(chan struct{})
+		a.tickDone = make(chan struct{})
+		go a.tickLoop(cfg.EpochInterval)
+	}
 	return a, nil
+}
+
+// tickLoop is the wall-clock epoch trigger: every EpochInterval it
+// attempts the same TryLock epoch step the access clock fires, so
+// reconfiguration happens on time even when traffic is too light to
+// reach EpochAccesses. Runs until Close.
+func (a *Cache) tickLoop(interval time.Duration) {
+	defer close(a.tickDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.tickStop:
+			return
+		case <-t.C:
+			if !a.epochMu.TryLock() {
+				continue // an access-driven epoch is already running
+			}
+			a.runEpochLocked()
+			a.nextEpoch.Store(a.accTotal.Load() + a.cfg.EpochAccesses)
+			a.epochMu.Unlock()
+		}
+	}
+}
+
+// Close stops the wall-clock epoch ticker (waiting for any in-flight
+// tick to finish) and is a no-op for caches built without EpochInterval.
+// Safe to call multiple times; the datapath remains usable afterwards,
+// driven by the access clock alone.
+func (a *Cache) Close() error {
+	if a.tickStop != nil {
+		a.closeOnce.Do(func() {
+			close(a.tickStop)
+			<-a.tickDone
+		})
+	}
+	return nil
 }
 
 // checkPartition validates a caller-supplied partition index once, at

@@ -65,5 +65,5 @@ func ByName(name string) (Allocator, error) {
 	case "optimal", "dp", "optimal-dp":
 		return OptimalDPAllocator, nil
 	}
-	return nil, fmt.Errorf("%w: unknown allocator %q", ErrBadInput, name)
+	return nil, fmt.Errorf("%w: unknown allocator %q (valid: fair, hill, lookahead, optimal)", ErrBadInput, name)
 }

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"strings"
 	"testing"
 
 	"talus/internal/curve"
@@ -64,7 +65,14 @@ func TestAllocatorByName(t *testing.T) {
 			t.Errorf("ByName(%q) = %s, want %s", name, got.Name(), want.Name())
 		}
 	}
-	if _, err := ByName("simulated-annealing"); err == nil {
+	// The error must teach the vocabulary, not just name the bad input.
+	_, err := ByName("simulated-annealing")
+	if err == nil {
 		t.Fatal("unknown allocator name must error")
+	}
+	for _, want := range []string{"simulated-annealing", "fair", "hill", "lookahead", "optimal"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("ByName error %q does not mention %q", err, want)
+		}
 	}
 }

@@ -37,8 +37,8 @@ func LinesToMB(lines float64) float64 { return lines / LinesPerMB }
 // Point is a single measurement on a miss curve: at Size cache lines, the
 // workload incurs MPKI misses per kilo-instruction.
 type Point struct {
-	Size float64 // cache size in lines
-	MPKI float64 // misses per kilo-instruction at that size
+	Size float64 `json:"size"` // cache size in lines
+	MPKI float64 `json:"mpki"` // misses per kilo-instruction at that size
 }
 
 // Curve is an immutable miss curve: a piecewise-linear function through a

@@ -1,0 +1,285 @@
+// Package serve is the stdlib-only HTTP front-end over the keyed store:
+// the last layer between "reproduction of a paper" and "cache system
+// serving traffic". It exposes the store's Get/Set/Delete as a REST
+// surface, the live control-loop state (stats, miss curves,
+// allocations) as JSON, and the record hook as an endpoint, so a
+// production-shaped client can capture its own traffic and replay it
+// offline through the simulator.
+//
+// Routes (method-dispatched; wrong methods get 405 with Allow set):
+//
+//	GET    /v1/cache/{tenant}/{key}   → stored bytes; X-Talus-Cache: hit|miss
+//	PUT    /v1/cache/{tenant}/{key}   → store body (204); X-Talus-Cache set
+//	DELETE /v1/cache/{tenant}/{key}   → remove value (204; 404 if absent)
+//	GET    /v1/stats                  → per-tenant counters + cache totals
+//	GET    /v1/curves                 → per-tenant measured + hulled curves
+//	POST   /v1/record                 → {"action":"start","path":...,"gzip":bool} | {"action":"stop"}
+//
+// Keys may contain slashes ({key...} pattern). Errors are JSON
+// {"error": "..."} with the store's typed errors mapped onto status
+// codes: ErrNotFound/ErrUnknownTenant → 404, ErrValueTooLarge and
+// oversized request bodies → 413, ErrTenantCapacity → 507, other
+// boundary errors → 400. /v1/record writes server-side files, so it is
+// disabled (403) unless the handler is configured with a record
+// directory, and clients may only name bare files inside it.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	"talus/internal/curve"
+	"talus/internal/store"
+)
+
+// DefaultMaxValueBytes caps PUT bodies when the caller does not choose
+// a limit: 1 MiB, generous for cache values while keeping a misbehaving
+// client from buffering unbounded memory server-side.
+const DefaultMaxValueBytes = 1 << 20
+
+// Config parameterizes the handler.
+type Config struct {
+	// MaxValueBytes caps PUT bodies; 0 selects DefaultMaxValueBytes.
+	MaxValueBytes int64
+	// RecordDir is the directory trace captures may be written into.
+	// Empty disables POST /v1/record entirely: the endpoint writes
+	// server-side files, so it must be an explicit operator decision,
+	// never a default an unauthenticated client can reach. Requests name
+	// a bare file inside the directory; path separators and ".." are
+	// rejected.
+	RecordDir string
+}
+
+// Handler serves the store over HTTP.
+type Handler struct {
+	st        *store.Store
+	maxValue  int64
+	recordDir string
+	mux       *http.ServeMux
+}
+
+// NewHandler builds the route table over st.
+func NewHandler(st *store.Store, cfg Config) *Handler {
+	if cfg.MaxValueBytes <= 0 {
+		cfg.MaxValueBytes = DefaultMaxValueBytes
+	}
+	h := &Handler{st: st, maxValue: cfg.MaxValueBytes, recordDir: cfg.RecordDir, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /v1/cache/{tenant}/{key...}", h.get)
+	h.mux.HandleFunc("PUT /v1/cache/{tenant}/{key...}", h.put)
+	h.mux.HandleFunc("DELETE /v1/cache/{tenant}/{key...}", h.delete)
+	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /v1/curves", h.curves)
+	h.mux.HandleFunc("POST /v1/record", h.record)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// statusOf maps store boundary errors onto HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrValueTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, store.ErrTenantCapacity):
+		return http.StatusInsufficientStorage
+	case errors.Is(err, store.ErrEmptyTenant), errors.Is(err, store.ErrEmptyKey),
+		errors.Is(err, store.ErrRecording), errors.Is(err, store.ErrNotRecording):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// writeErr emits a JSON error body with the mapped status.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), map[string]string{"error": err.Error()})
+}
+
+// writeJSON marshals v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// hitHeader reports the simulated cache outcome without disturbing the
+// response body.
+func hitHeader(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set("X-Talus-Cache", "hit")
+	} else {
+		w.Header().Set("X-Talus-Cache", "miss")
+	}
+}
+
+func (h *Handler) get(w http.ResponseWriter, r *http.Request) {
+	value, hit, err := h.st.Get(r.PathValue("tenant"), r.PathValue("key"))
+	hitHeader(w, hit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(value)
+}
+
+func (h *Handler) put(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r, h.maxValue)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	hit, err := h.st.Set(r.PathValue("tenant"), r.PathValue("key"), body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	hitHeader(w, hit)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// readBody drains at most maxValue bytes of request body, translating
+// the over-limit error into the store's typed ErrValueTooLarge so the
+// handler's status mapping stays in one place.
+func readBody(w http.ResponseWriter, r *http.Request, maxValue int64) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, maxValue)
+	defer body.Close()
+	buf, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, fmt.Errorf("%w: body over %d bytes", store.ErrValueTooLarge, tooBig.Limit)
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (h *Handler) delete(w http.ResponseWriter, r *http.Request) {
+	existed, err := h.st.Delete(r.PathValue("tenant"), r.PathValue("key"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !existed {
+		writeErr(w, fmt.Errorf("%w: %q", store.ErrNotFound, r.PathValue("key")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	Tenants       []store.TenantStats `json:"tenants"`
+	Epochs        int                 `json:"epochs"`
+	CapacityLines int64               `json:"capacityLines"`
+	Cache         *cacheStats         `json:"cache,omitempty"`
+	Recording     bool                `json:"recording"`
+}
+
+type cacheStats struct {
+	Accesses int64   `json:"accesses"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hitRate"`
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	ac := h.st.Cache()
+	resp := statsResponse{
+		Tenants:       h.st.StatsAll(),
+		Epochs:        ac.Epochs(),
+		CapacityLines: ac.Shadowed().Inner().PartitionableCapacity(),
+		Recording:     h.st.Recording(),
+	}
+	if cs, ok := h.st.CacheStats(); ok {
+		resp.Cache = &cacheStats{Accesses: cs.Accesses, Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// curvesResponse is the /v1/curves payload.
+type curvesResponse struct {
+	Tenants []tenantCurves `json:"tenants"`
+	Epochs  int            `json:"epochs"`
+}
+
+type tenantCurves struct {
+	Tenant     string        `json:"tenant"`
+	AllocLines int64         `json:"allocLines"`
+	Measured   []curve.Point `json:"measured,omitempty"`
+	Hull       []curve.Point `json:"hull,omitempty"`
+}
+
+func (h *Handler) curves(w http.ResponseWriter, r *http.Request) {
+	ac := h.st.Cache()
+	allocs := ac.Allocations()
+	resp := curvesResponse{Epochs: ac.Epochs()}
+	for _, st := range h.st.StatsAll() {
+		tc := tenantCurves{Tenant: st.Tenant}
+		if st.Partition < len(allocs) {
+			tc.AllocLines = allocs[st.Partition]
+		}
+		measured, hulled, err := h.st.Curves(st.Tenant)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		tc.Measured = measured.Points()
+		tc.Hull = hulled.Points()
+		resp.Tenants = append(resp.Tenants, tc)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordRequest is the /v1/record body.
+type recordRequest struct {
+	Action string `json:"action"` // "start" | "stop"
+	Path   string `json:"path"`   // trace file name inside the record dir (start)
+	Gzip   bool   `json:"gzip"`
+}
+
+func (h *Handler) record(w http.ResponseWriter, r *http.Request) {
+	if h.recordDir == "" {
+		writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": "recording disabled: the server was started without a record directory"})
+		return
+	}
+	var req recordRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad record request: " + err.Error()})
+		return
+	}
+	switch req.Action {
+	case "start":
+		// The client names a file, never a path: this endpoint writes
+		// server-side, so anything that escapes the record dir is refused.
+		if req.Path == "" || req.Path != filepath.Base(req.Path) || strings.HasPrefix(req.Path, ".") {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("record start needs a bare file name inside the record dir, got %q", req.Path)})
+			return
+		}
+		path := filepath.Join(h.recordDir, req.Path)
+		if err := h.st.StartRecording(path, req.Gzip); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"recording": true, "path": path})
+	case "stop":
+		count, err := h.st.StopRecording()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"recording": false, "records": count})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("unknown record action %q (valid: start, stop)", req.Action)})
+	}
+}

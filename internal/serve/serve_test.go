@@ -1,0 +1,294 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"talus/internal/adaptive"
+	"talus/internal/serve"
+	"talus/internal/sim"
+	"talus/internal/store"
+)
+
+// newServer mounts a small store behind the handler under test, with
+// recording allowed into a per-test temp dir.
+func newServer(t *testing.T, cfg store.Config, maxBody int64) (*httptest.Server, *store.Store) {
+	t.Helper()
+	return newServerConfig(t, cfg, serve.Config{MaxValueBytes: maxBody, RecordDir: t.TempDir()})
+}
+
+func newServerConfig(t *testing.T, cfg store.Config, scfg serve.Config) (*httptest.Server, *store.Store) {
+	t.Helper()
+	ac, err := sim.BuildAdaptiveCache("vantage", 8192, 16, 2, 2, "LRU", 0.05,
+		adaptive.Config{EpochAccesses: 1 << 14, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.New(ac, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serve.NewHandler(st, scfg))
+	t.Cleanup(func() {
+		srv.Close()
+		st.Close()
+	})
+	return srv, st
+}
+
+// do issues one request and returns the response with its body drained.
+func do(t *testing.T, method, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	srv, _ := newServer(t, store.Config{}, 0)
+	url := srv.URL + "/v1/cache/alice/greeting"
+
+	// Cold GET: 404 with a miss header.
+	resp, body := do(t, http.MethodGet, url, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold GET = %d %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-Talus-Cache"); h != "miss" {
+		t.Fatalf("cold GET header = %q", h)
+	}
+
+	// PUT, then GET returns the stored bytes.
+	resp, _ = do(t, http.MethodPut, url, []byte("hello world"))
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	resp, body = do(t, http.MethodGet, url, nil)
+	if resp.StatusCode != http.StatusOK || string(body) != "hello world" {
+		t.Fatalf("GET = %d %q", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-Talus-Cache"); h != "hit" {
+		t.Fatalf("warm GET header = %q", h)
+	}
+
+	// Keys may contain slashes.
+	nested := srv.URL + "/v1/cache/alice/a/b/c"
+	do(t, http.MethodPut, nested, []byte("nested"))
+	if _, body = do(t, http.MethodGet, nested, nil); string(body) != "nested" {
+		t.Fatalf("nested key GET = %q", body)
+	}
+
+	// DELETE removes the value; a second DELETE 404s.
+	if resp, _ = do(t, http.MethodDelete, url, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	if resp, _ = do(t, http.MethodDelete, url, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE = %d", resp.StatusCode)
+	}
+	if resp, _ = do(t, http.MethodGet, url, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE = %d", resp.StatusCode)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	srv, _ := newServer(t, store.Config{}, 64)
+
+	// Unknown paths 404.
+	for _, path := range []string{"/", "/v1", "/v1/cache", "/v2/cache/a/k", "/v1/nope"} {
+		if resp, _ := do(t, http.MethodGet, srv.URL+path, nil); resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	// Wrong methods 405 with Allow set.
+	for _, c := range []struct{ method, path string }{
+		{http.MethodPost, "/v1/cache/a/k"},
+		{http.MethodPut, "/v1/stats"},
+		{http.MethodDelete, "/v1/curves"},
+		{http.MethodGet, "/v1/record"},
+	} {
+		resp, _ := do(t, c.method, srv.URL+c.path, nil)
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s = %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Fatalf("%s %s: no Allow header", c.method, c.path)
+		}
+	}
+	// Empty key (trailing slash) is a 400 from the store boundary.
+	if resp, body := do(t, http.MethodGet, srv.URL+"/v1/cache/alice/", nil); resp.StatusCode != http.StatusBadRequest ||
+		!strings.Contains(string(body), "empty key") {
+		t.Fatalf("empty key = %d %s", resp.StatusCode, body)
+	}
+	// Oversized PUT body: 413.
+	resp, body := do(t, http.MethodPut, srv.URL+"/v1/cache/alice/k", bytes.Repeat([]byte("x"), 65))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT = %d %s", resp.StatusCode, body)
+	}
+	// In-limit PUT still fine.
+	if resp, _ = do(t, http.MethodPut, srv.URL+"/v1/cache/alice/k", bytes.Repeat([]byte("x"), 64)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("max-size PUT = %d", resp.StatusCode)
+	}
+	// Tenant capacity: two partitions, third tenant refused.
+	do(t, http.MethodPut, srv.URL+"/v1/cache/bob/k", []byte("v"))
+	if resp, _ = do(t, http.MethodPut, srv.URL+"/v1/cache/carol/k", []byte("v")); resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("third tenant = %d, want 507", resp.StatusCode)
+	}
+}
+
+func TestStaticTenant404(t *testing.T) {
+	srv, _ := newServer(t, store.Config{Tenants: []string{"only"}, Static: true}, 0)
+	if resp, _ := do(t, http.MethodPut, srv.URL+"/v1/cache/other/k", []byte("v")); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("static-mode stranger = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStatsAndCurves(t *testing.T) {
+	srv, st := newServer(t, store.Config{Tenants: []string{"a"}}, 0)
+	for i := 0; i < 2048; i++ {
+		key := fmt.Sprintf("k%d", i%256)
+		if resp, _ := do(t, http.MethodGet, srv.URL+"/v1/cache/a/"+key, nil); resp.StatusCode == http.StatusNotFound {
+			do(t, http.MethodPut, srv.URL+"/v1/cache/a/"+key, []byte("v"))
+		}
+	}
+	if err := st.Cache().ForceEpoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := do(t, http.MethodGet, srv.URL+"/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d", resp.StatusCode)
+	}
+	var stats struct {
+		Tenants []store.TenantStats `json:"tenants"`
+		Epochs  int                 `json:"epochs"`
+		Cache   *struct {
+			Accesses int64 `json:"accesses"`
+		} `json:"cache"`
+		CapacityLines int64 `json:"capacityLines"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats JSON: %v in %s", err, body)
+	}
+	if len(stats.Tenants) != 1 || stats.Tenants[0].Gets != 2048 || stats.Tenants[0].Sets != 256 {
+		t.Fatalf("stats payload = %+v", stats)
+	}
+	if stats.Epochs == 0 || stats.Cache == nil || stats.Cache.Accesses != 2048+256 || stats.CapacityLines == 0 {
+		t.Fatalf("stats payload = %+v", stats)
+	}
+
+	resp, body = do(t, http.MethodGet, srv.URL+"/v1/curves", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("curves = %d", resp.StatusCode)
+	}
+	var curves struct {
+		Tenants []struct {
+			Tenant   string `json:"tenant"`
+			Measured []struct {
+				Size float64 `json:"size"`
+				MPKI float64 `json:"mpki"`
+			} `json:"measured"`
+			Hull []struct {
+				Size float64 `json:"size"`
+				MPKI float64 `json:"mpki"`
+			} `json:"hull"`
+			AllocLines int64 `json:"allocLines"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &curves); err != nil {
+		t.Fatalf("curves JSON: %v in %s", err, body)
+	}
+	if len(curves.Tenants) != 1 || curves.Tenants[0].Tenant != "a" {
+		t.Fatalf("curves payload = %s", body)
+	}
+	if len(curves.Tenants[0].Measured) == 0 || len(curves.Tenants[0].Hull) == 0 {
+		t.Fatalf("no curves after an epoch: %s", body)
+	}
+	if curves.Tenants[0].AllocLines <= 0 {
+		t.Fatalf("no allocation: %s", body)
+	}
+}
+
+func TestRecordEndpoint(t *testing.T) {
+	recordDir := t.TempDir()
+	srv, _ := newServerConfig(t, store.Config{Tenants: []string{"a"}},
+		serve.Config{RecordDir: recordDir})
+	path := filepath.Join(recordDir, "rec.trc")
+
+	// Bad requests first: malformed JSON, unknown action, missing path,
+	// path-escape attempts, stop without start.
+	if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/record", []byte("{")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON = %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/record", []byte(`{"action":"pause"}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown action = %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/record", []byte(`{"action":"start"}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("start without path = %d", resp.StatusCode)
+	}
+	for _, escape := range []string{"../evil.trc", "/etc/passwd", "sub/dir.trc", "..", ".hidden"} {
+		req := fmt.Sprintf(`{"action":"start","path":%q}`, escape)
+		if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/record", []byte(req)); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("path escape %q = %d, want 400", escape, resp.StatusCode)
+		}
+	}
+	if resp, _ := do(t, http.MethodPost, srv.URL+"/v1/record", []byte(`{"action":"stop"}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stop before start = %d", resp.StatusCode)
+	}
+
+	// Start, traffic, stop: the reported count matches the traffic, and
+	// the capture replays cleanly. Clients name a bare file; the server
+	// anchors it inside the record dir.
+	start := `{"action":"start","path":"rec.trc","gzip":true}`
+	if resp, body := do(t, http.MethodPost, srv.URL+"/v1/record", []byte(start)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("start = %d %s", resp.StatusCode, body)
+	}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		do(t, http.MethodPut, srv.URL+fmt.Sprintf("/v1/cache/a/k%d", i%512), []byte("v"))
+	}
+	resp, body := do(t, http.MethodPost, srv.URL+"/v1/record", []byte(`{"action":"stop"}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stop = %d %s", resp.StatusCode, body)
+	}
+	var stopped struct {
+		Records int64 `json:"records"`
+	}
+	if err := json.Unmarshal(body, &stopped); err != nil || stopped.Records != n {
+		t.Fatalf("stop payload %s (err %v), want %d records", body, err, n)
+	}
+	res, err := sim.RunAdaptiveTraceFile(sim.AdaptiveConfig{CapacityLines: 8192}, path)
+	if err != nil {
+		t.Fatalf("served trace replay: %v", err)
+	}
+	if res.Apps[0] != "a" {
+		t.Fatalf("replay apps = %v", res.Apps)
+	}
+}
+
+// TestRecordDisabledByDefault: without an explicit record dir the
+// endpoint must refuse outright — it writes server-side files, so
+// enabling it is an operator decision, not a client one.
+func TestRecordDisabledByDefault(t *testing.T) {
+	srv, _ := newServerConfig(t, store.Config{}, serve.Config{})
+	resp, body := do(t, http.MethodPost, srv.URL+"/v1/record", []byte(`{"action":"start","path":"x.trc"}`))
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("record without record dir = %d %s, want 403", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "recording disabled") {
+		t.Fatalf("403 body %s does not explain itself", body)
+	}
+}

@@ -191,7 +191,7 @@ func FeedAdaptive(ac BatchCache, apps []*workload.App, accessesPerApp int64, bat
 			if k > left {
 				k = left
 			}
-			space := appSpace(i)
+			space := AppSpace(i)
 			for j := int64(0); j < k; j++ {
 				batch[j] = app.Next() | space
 			}

@@ -151,8 +151,12 @@ func buildMixCache(cfg *MixConfig) (mixCache, bool, error) {
 		tc, err := core.NewShadowedCache(inner, n, cfg.Margin, cfg.Seed^0x7A105)
 		return &talusMix{tc}, true, err
 	}
-	return nil, false, fmt.Errorf("sim: unknown mode %q", cfg.Mode)
+	return nil, false, fmt.Errorf("sim: unknown mode %q (valid: %s)", cfg.Mode, validModes)
 }
+
+// validModes enumerates every management scheme buildMixCache accepts,
+// for error messages that teach the caller the vocabulary.
+const validModes = "lru, tadrrip, hill-lru, lookahead-lru, fair-lru, talus-hill, talus-fair, talus-lookahead"
 
 // allocatorFor maps a management mode to its allocation policy and
 // whether curves are convexified (the Talus pre-processing step) before
@@ -173,7 +177,7 @@ func allocatorFor(mode Mode) (a alloc.Allocator, convexify bool, err error) {
 	case ModeTalusLookahead:
 		return alloc.LookaheadAllocator, true, nil
 	}
-	return nil, false, fmt.Errorf("sim: mode %q does not allocate", mode)
+	return nil, false, fmt.Errorf("sim: mode %q does not allocate (allocating modes: hill-lru, lookahead-lru, fair-lru, talus-hill, talus-fair, talus-lookahead)", mode)
 }
 
 // allocate runs the mode's allocation algorithm.
@@ -188,9 +192,13 @@ func allocate(mode Mode, curves []*curve.Curve, budget, granule int64) ([]int64,
 	return a.Allocate(curves, budget, granule)
 }
 
-// appSpace offsets each app's addresses into a disjoint address space
-// (cores run separate programs; there is no sharing).
-func appSpace(app int) uint64 { return uint64(app+1) << 48 }
+// AppSpace offsets each app's (or tenant's) addresses into a disjoint
+// address space via bits 48–55 (cores run separate programs; store
+// tenants are separate namespaces; there is no sharing). Every feeder —
+// live generators, trace replay, and the keyed store — applies the same
+// offset, which is what lets a stream recorded raw (without the offset)
+// replay identically.
+func AppSpace(app int) uint64 { return uint64(app+1) << 48 }
 
 // RunMixes simulates many mixes concurrently on a worker pool bounded by
 // parallelism (0 → GOMAXPROCS) and returns their results in input order.
@@ -280,7 +288,7 @@ func RunMix(cfg MixConfig) (*MixResult, error) {
 					quota = remaining[i]
 				}
 				remaining[i] -= quota
-				space := appSpace(i)
+				space := AppSpace(i)
 				for k := int64(0); k < quota; k++ {
 					addr := apps[i].Next() | space
 					if managed {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"talus/internal/stats"
@@ -44,8 +45,15 @@ func TestRunMixValidation(t *testing.T) {
 		t.Fatal("zero capacity must fail")
 	}
 	cfg := fastMix([]workload.Spec{smallConvex("a")}, "not-a-mode", 1)
-	if _, err := RunMix(cfg); err == nil {
+	_, err := RunMix(cfg)
+	if err == nil {
 		t.Fatal("unknown mode must fail")
+	}
+	// The error must enumerate the valid modes.
+	for _, want := range []string{"not-a-mode", "lru", "tadrrip", "talus-hill", "talus-lookahead"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("RunMix error %q does not mention %q", err, want)
+		}
 	}
 }
 

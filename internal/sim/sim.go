@@ -70,7 +70,7 @@ func PolicyByName(name string, threads int) (policy.Factory, error) {
 	case "Random", "random":
 		return policy.RandomFactory, nil
 	}
-	return nil, fmt.Errorf("sim: unknown policy %q", name)
+	return nil, fmt.Errorf("sim: unknown policy %q (valid: LRU, SRRIP, BRRIP, DRRIP, TA-DRRIP, DIP, PDP, Random)", name)
 }
 
 // BuildCache constructs a partitioned cache per the named scheme:
@@ -94,7 +94,7 @@ func BuildCache(scheme string, capacityLines int64, assoc int, numPartitions int
 	case "futility":
 		sch = partition.NewFutility(numPartitions)
 	default:
-		return nil, fmt.Errorf("sim: unknown scheme %q", scheme)
+		return nil, fmt.Errorf("sim: unknown scheme %q (valid: none, way, set, vantage, futility, ideal)", scheme)
 	}
 	factory, err := PolicyByName(policyName, threads)
 	if err != nil {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"talus/internal/core"
@@ -56,8 +57,15 @@ func TestPolicyByName(t *testing.T) {
 			t.Errorf("%s: nil policy", name)
 		}
 	}
-	if _, err := PolicyByName("bogus", 1); err == nil {
+	// The error must enumerate the valid policies.
+	_, err := PolicyByName("bogus", 1)
+	if err == nil {
 		t.Fatal("unknown policy must fail")
+	}
+	for _, want := range []string{"bogus", "LRU", "TA-DRRIP", "PDP", "Random"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("PolicyByName error %q does not mention %q", err, want)
+		}
 	}
 }
 
@@ -75,8 +83,15 @@ func TestBuildCacheSchemes(t *testing.T) {
 			t.Errorf("%s: capacity = %d", scheme, c.Capacity())
 		}
 	}
-	if _, err := BuildCache("bogus", 4096, 16, 1, "LRU", 1, 1); err == nil {
+	// The error must enumerate the valid schemes.
+	_, err := BuildCache("bogus", 4096, 16, 1, "LRU", 1, 1)
+	if err == nil {
 		t.Fatal("unknown scheme must fail")
+	}
+	for _, want := range []string{"bogus", "none", "way", "set", "vantage", "futility", "ideal"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("BuildCache error %q does not mention %q", err, want)
+		}
 	}
 }
 

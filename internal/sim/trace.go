@@ -2,7 +2,7 @@
 // would generate, and replay it through the same machinery. Recording
 // happens at the feeder level (the same interleaving FeedAdaptive
 // drives), and addresses are stored in each generator's private space —
-// the per-app address-space offset (appSpace) is applied by the feeders
+// the per-app address-space offset (AppSpace) is applied by the feeders
 // on both the live and replay paths, so a recorded stream replayed at
 // the same batch length is byte-identical to the live one and produces
 // identical miss counts on an identically built cache.
@@ -11,6 +11,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"talus/internal/adaptive"
@@ -22,7 +23,7 @@ import (
 
 // RecordApps writes the interleaved stream FeedAdaptive would feed —
 // accessesPerApp accesses per app in round-robin batches of batchLen —
-// to w, one record per access, without the appSpace offset (feeders
+// to w, one record per access, without the AppSpace offset (feeders
 // re-apply it at replay).
 func RecordApps(w *trace.Writer, apps []*workload.App, accessesPerApp int64, batchLen int) error {
 	if batchLen <= 0 {
@@ -109,7 +110,7 @@ func SpecsFromTrace(path string) ([]workload.Spec, error) {
 
 // FeedAdaptiveTrace feeds a loaded trace through ac: records stream in
 // recorded order, maximal same-partition runs fed as batches capped at
-// batchLen, the appSpace offset applied exactly as FeedAdaptive does.
+// batchLen, the AppSpace offset applied exactly as FeedAdaptive does.
 // Returns per-partition miss and access counts over each partition's
 // trailing tailFrac of its recorded accesses.
 func FeedAdaptiveTrace(ac BatchCache, tr *trace.Trace, batchLen int, tailFrac float64) (misses, accs []int64) {
@@ -122,18 +123,14 @@ func FeedAdaptiveTrace(ac BatchCache, tr *trace.Trace, batchLen int, tailFrac fl
 	n := tr.NumPartitions()
 	misses = make([]int64, n)
 	accs = make([]int64, n)
-	totals := tr.Counts()
-	tailStart := make([]int64, n)
-	for p, total := range totals {
-		tailStart[p] = total - int64(tailFrac*float64(total))
-	}
+	tailStart := traceTailStarts(tr.Counts(), tailFrac)
 	fed := make([]int64, n)
 	batch := make([]uint64, batchLen)
 	hits := make([]bool, batchLen)
 	recs := tr.Records
 	for i := 0; i < len(recs); {
 		p := recs[i].P
-		space := appSpace(p)
+		space := AppSpace(p)
 		k := 0
 		for i < len(recs) && recs[i].P == p && k < batchLen {
 			batch[k] = recs[i].Addr | space
@@ -154,25 +151,111 @@ func FeedAdaptiveTrace(ac BatchCache, tr *trace.Trace, batchLen int, tailFrac fl
 	return misses, accs
 }
 
-// RunAdaptiveTrace drives one adaptive run from a recorded trace
-// instead of live generators: the cache is built for the trace's
-// partition count and fed the recorded stream. cfg.Apps is optional
-// (metadata embedded in the trace, or defaults, name the partitions and
-// scale MPKI); cfg.AccessesPerApp is ignored — the trace determines the
-// traffic.
-func RunAdaptiveTrace(cfg AdaptiveConfig, tr *trace.Trace) (*AdaptiveResult, error) {
-	if cfg.CapacityLines <= 0 {
-		return nil, fmt.Errorf("sim: adaptive trace run needs capacity")
+// FeedAdaptiveTraceReader is the streaming FeedAdaptiveTrace: it drives
+// a trace.Reader record by record into ac without loading the trace —
+// maximal same-partition runs fed as batches capped at batchLen, the
+// AppSpace offset applied exactly as the loaded path does, so batch
+// boundaries (hence epoch crossings and miss counts) are identical.
+// tailStart[p] is the record index within partition p where
+// steady-state measurement begins (traceTailStarts computes it from
+// per-partition totals); memory use is one batch regardless of trace
+// length.
+func FeedAdaptiveTraceReader(ac BatchCache, r *trace.Reader, tailStart []int64, batchLen int) (misses, accs []int64, err error) {
+	if batchLen <= 0 {
+		batchLen = 2048
 	}
-	n := tr.NumPartitions()
+	n := r.Header().NumPartitions
+	misses = make([]int64, n)
+	accs = make([]int64, n)
+	fed := make([]int64, n)
+	batch := make([]uint64, batchLen)
+	hits := make([]bool, batchLen)
+	cur, k := 0, 0
+	flush := func() {
+		if k == 0 {
+			return
+		}
+		ac.AccessBatch(batch[:k], cur, hits[:k])
+		for j := 0; j < k; j++ {
+			if fed[cur]+int64(j) >= tailStart[cur] {
+				accs[cur]++
+				if !hits[j] {
+					misses[cur]++
+				}
+			}
+		}
+		fed[cur] += int64(k)
+		k = 0
+	}
+	for {
+		rec, e := r.Next()
+		if e == io.EOF {
+			break
+		}
+		if e != nil {
+			return nil, nil, e
+		}
+		if rec.P != cur || k == batchLen {
+			flush()
+			cur = rec.P
+		}
+		batch[k] = rec.Addr | AppSpace(rec.P)
+		k++
+	}
+	flush()
+	return misses, accs, nil
+}
+
+// traceTailStarts converts per-partition record totals and a tail
+// fraction into the per-partition indices where measurement begins —
+// the exact arithmetic FeedAdaptiveTrace uses.
+func traceTailStarts(totals []int64, tailFrac float64) []int64 {
+	out := make([]int64, len(totals))
+	for p, total := range totals {
+		out[p] = total - int64(tailFrac*float64(total))
+	}
+	return out
+}
+
+// traceShape streams path once and returns its header and per-partition
+// record counts: the pre-pass a streaming replay needs (tail boundaries
+// and partition count) at one batch of memory, where Load would hold
+// the whole trace.
+func traceShape(path string) (trace.Header, []int64, error) {
+	r, err := trace.OpenFile(path)
+	if err != nil {
+		return trace.Header{}, nil, err
+	}
+	defer r.Close()
+	counts := make([]int64, r.Header().NumPartitions)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return r.Header(), counts, nil
+		}
+		if err != nil {
+			return trace.Header{}, nil, fmt.Errorf("sim: scanning %s: %w", path, err)
+		}
+		counts[rec.P]++
+	}
+}
+
+// adaptiveTraceCache validates a trace-driven config against the
+// trace's partition count, resolves specs (cfg.Apps, else the trace's
+// metadata), and builds the adaptive cache. Shared by the loaded and
+// streaming replay paths.
+func adaptiveTraceCache(cfg AdaptiveConfig, n int, headerSpecs func() ([]workload.Spec, error)) (*adaptive.Cache, AdaptiveConfig, error) {
+	if cfg.CapacityLines <= 0 {
+		return nil, cfg, fmt.Errorf("sim: adaptive trace run needs capacity")
+	}
 	if len(cfg.Apps) != 0 && len(cfg.Apps) != n {
-		return nil, fmt.Errorf("sim: %d apps for a %d-partition trace", len(cfg.Apps), n)
+		return nil, cfg, fmt.Errorf("sim: %d apps for a %d-partition trace", len(cfg.Apps), n)
 	}
 	specs := cfg.Apps
 	if len(specs) == 0 {
 		var err error
-		if specs, err = tr.Specs(); err != nil {
-			return nil, err
+		if specs, err = headerSpecs(); err != nil {
+			return nil, cfg, err
 		}
 	}
 	// Borrow the generator-driven config's defaulting for the shared
@@ -180,11 +263,11 @@ func RunAdaptiveTrace(cfg AdaptiveConfig, tr *trace.Trace) (*AdaptiveResult, err
 	probe := cfg
 	probe.Apps = specs
 	if err := probe.defaults(); err != nil {
-		return nil, err
+		return nil, cfg, err
 	}
 	allocator, err := alloc.ByName(probe.Allocator)
 	if err != nil {
-		return nil, err
+		return nil, cfg, err
 	}
 	ac, err := BuildAdaptiveCache(probe.Scheme, probe.CapacityLines, probe.Assoc, probe.Shards, n,
 		probe.Policy, probe.Margin, adaptive.Config{
@@ -193,11 +276,13 @@ func RunAdaptiveTrace(cfg AdaptiveConfig, tr *trace.Trace) (*AdaptiveResult, err
 			Allocator:     allocator,
 			Seed:          probe.Seed,
 		})
-	if err != nil {
-		return nil, err
-	}
-	misses, accs := FeedAdaptiveTrace(ac, tr, probe.BatchLen, probe.TailFrac)
+	return ac, probe, err
+}
 
+// adaptiveTraceResult assembles the per-partition report from a fed
+// cache and the measured tail counts.
+func adaptiveTraceResult(ac *adaptive.Cache, specs []workload.Spec, misses, accs []int64) *AdaptiveResult {
+	n := len(specs)
 	res := &AdaptiveResult{
 		Apps:      make([]string, n),
 		MPKI:      make([]float64, n),
@@ -214,14 +299,50 @@ func RunAdaptiveTrace(cfg AdaptiveConfig, tr *trace.Trace) (*AdaptiveResult, err
 			res.MPKI[p] = mpkiOf(misses[p], accs[p], specs[p].APKI)
 		}
 	}
-	return res, nil
+	return res
 }
 
-// RunAdaptiveTraceFile is RunAdaptiveTrace over a trace file path.
-func RunAdaptiveTraceFile(cfg AdaptiveConfig, path string) (*AdaptiveResult, error) {
-	tr, err := trace.Load(path)
+// RunAdaptiveTrace drives one adaptive run from a loaded trace instead
+// of live generators: the cache is built for the trace's partition
+// count and fed the recorded stream. cfg.Apps is optional (metadata
+// embedded in the trace, or defaults, name the partitions and scale
+// MPKI); cfg.AccessesPerApp is ignored — the trace determines the
+// traffic.
+func RunAdaptiveTrace(cfg AdaptiveConfig, tr *trace.Trace) (*AdaptiveResult, error) {
+	ac, probe, err := adaptiveTraceCache(cfg, tr.NumPartitions(), tr.Specs)
 	if err != nil {
 		return nil, err
 	}
-	return RunAdaptiveTrace(cfg, tr)
+	misses, accs := FeedAdaptiveTrace(ac, tr, probe.BatchLen, probe.TailFrac)
+	return adaptiveTraceResult(ac, probe.Apps, misses, accs), nil
+}
+
+// RunAdaptiveTraceFile is RunAdaptiveTrace over a trace file path,
+// streaming: the file is scanned once for its shape (partition counts →
+// tail boundaries) and once more to feed the cache, so traces larger
+// than memory replay in one batch of memory. Results are identical to
+// loading the trace and calling RunAdaptiveTrace — same batching, same
+// epoch crossings — except that partitions with no records are
+// tolerated (metadata-only specs need no addresses).
+func RunAdaptiveTraceFile(cfg AdaptiveConfig, path string) (*AdaptiveResult, error) {
+	hdr, counts, err := traceShape(path)
+	if err != nil {
+		return nil, err
+	}
+	ac, probe, err := adaptiveTraceCache(cfg, hdr.NumPartitions, func() ([]workload.Spec, error) {
+		return trace.HeaderSpecs(hdr), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := trace.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	misses, accs, err := FeedAdaptiveTraceReader(ac, r.Reader, traceTailStarts(counts, probe.TailFrac), probe.BatchLen)
+	if err != nil {
+		return nil, fmt.Errorf("sim: replaying %s: %w", path, err)
+	}
+	return adaptiveTraceResult(ac, probe.Apps, misses, accs), nil
 }

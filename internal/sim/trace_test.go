@@ -2,7 +2,10 @@ package sim
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"talus/internal/trace"
@@ -155,6 +158,72 @@ func TestReplayDeterminism(t *testing.T) {
 	}
 	if replayRes.Epochs != liveRes.Epochs {
 		t.Fatalf("replay ran %d epochs, live ran %d", replayRes.Epochs, liveRes.Epochs)
+	}
+}
+
+// TestStreamingReplayMatchesLoaded pins the streaming path to the
+// loaded one: RunAdaptiveTraceFile (two streaming passes, one batch of
+// memory) must produce exactly the result of loading the trace and
+// running RunAdaptiveTrace — same batching, same epoch crossings, same
+// miss counts.
+func TestStreamingReplayMatchesLoaded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mix.trc")
+	if _, err := RecordSpecs(path, traceTestSpecs(), 1<<15, 512, 11, true); err != nil {
+		t.Fatal(err)
+	}
+	cfg := AdaptiveConfig{
+		CapacityLines: 8192,
+		EpochAccesses: 1 << 14,
+		BatchLen:      512,
+		Seed:          11,
+	}
+	tr, err := trace.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := RunAdaptiveTrace(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := RunAdaptiveTraceFile(cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Apps, streamed.Apps) {
+		t.Fatalf("apps: loaded %v, streamed %v", loaded.Apps, streamed.Apps)
+	}
+	if !reflect.DeepEqual(loaded.MissRatio, streamed.MissRatio) ||
+		!reflect.DeepEqual(loaded.MPKI, streamed.MPKI) {
+		t.Fatalf("miss rates diverge:\n loaded   %v %v\n streamed %v %v",
+			loaded.MissRatio, loaded.MPKI, streamed.MissRatio, streamed.MPKI)
+	}
+	if !reflect.DeepEqual(loaded.Allocs, streamed.Allocs) || loaded.Epochs != streamed.Epochs {
+		t.Fatalf("allocations/epochs diverge: loaded %v/%d, streamed %v/%d",
+			loaded.Allocs, loaded.Epochs, streamed.Allocs, streamed.Epochs)
+	}
+}
+
+// TestStreamingReplayCorruptTrace checks that a truncated trace
+// surfaces ErrCorrupt through the streaming path rather than reading as
+// a short-but-valid run.
+func TestStreamingReplayCorruptTrace(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.trc")
+	if _, err := RecordSpecs(good, traceTestSpecs(), 1<<12, 512, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.trc")
+	// Chop mid-record: the final byte of a multi-byte varint vanishes.
+	if err := os.WriteFile(bad, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunAdaptiveTraceFile(AdaptiveConfig{CapacityLines: 8192, Seed: 3}, bad)
+	if !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("truncated trace replayed with err = %v, want ErrCorrupt", err)
 	}
 }
 

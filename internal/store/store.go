@@ -1,0 +1,517 @@
+// Package store is the keyed serving layer over the adaptive Talus
+// runtime: it maps (tenant, key) requests onto the line-address
+// datapath the rest of the system speaks, and stores real bytes while
+// doing so. This is the API pivot from "simulator" to "cache system" —
+// callers Get/Set/Delete string keys; underneath, each tenant owns one
+// logical partition of an adaptive.Cache, each key hashes to a line
+// address, and every request drives the monitor → hull → Talus →
+// allocator loop exactly like simulated traffic does.
+//
+// # Key → address, tenant → partition
+//
+// A key's line address is the FNV-1a 64-bit hash of its bytes, masked
+// to 48 bits — the feeders' per-partition offset (sim.AppSpace, bits
+// 48–55) and the trace flattener's tags (bits 56–63) stay clear, so a
+// stream recorded from the store replays through sim.FeedAdaptiveTrace
+// and friends unchanged. Distinct keys may collide on a line (two keys
+// in ~2^48 lines); a collision only nudges the simulated hit ratio,
+// never the stored values, which live in an exact per-tenant map.
+//
+// Tenants bind to logical partitions in arrival order: the first
+// Get/Set naming a new tenant claims the next free partition
+// (Config.Static disables this and admits only pre-declared tenants).
+// The partition count is fixed at cache construction, so once every
+// partition is claimed further new tenants are refused with
+// ErrTenantCapacity.
+//
+// # Hit/miss semantics
+//
+// The simulated cache decides hit or miss; the value map decides found
+// or not found. A Get whose key was never Set still accesses the cache
+// (miss traffic shapes the miss curve, as in a real LLC) and returns
+// ErrNotFound. A Get whose key exists returns the bytes either way and
+// reports whether the line hit — the "miss" is the simulated cost
+// (e.g. a backend fetch) a production deployment would pay. Values are
+// never evicted: the store is the system of record, and the adaptive
+// cache in front of it is the performance model being served.
+//
+// # Recording
+//
+// An optional record hook captures every cache access (partition, raw
+// 48-bit address) through a Recorder — trace.Writer satisfies it — so
+// live front-end traffic becomes a replayable trace
+// (sim.RunAdaptiveTraceFile). Recording serializes appends on a mutex;
+// under concurrent traffic the recorded order is one valid
+// interleaving of the live one.
+//
+// All methods are safe for concurrent use when the underlying adaptive
+// cache is (build it over a sharded inner cache).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"talus/internal/adaptive"
+	"talus/internal/cache"
+	"talus/internal/curve"
+	"talus/internal/hull"
+	"talus/internal/sim"
+	"talus/internal/trace"
+)
+
+// Typed boundary errors. Handlers map these onto protocol status codes
+// (the HTTP front-end turns ErrNotFound into 404, ErrValueTooLarge into
+// 413, the rest of the request errors into 400).
+var (
+	// ErrEmptyTenant rejects requests with an empty tenant name.
+	ErrEmptyTenant = errors.New("store: empty tenant")
+	// ErrEmptyKey rejects requests with an empty key.
+	ErrEmptyKey = errors.New("store: empty key")
+	// ErrUnknownTenant reports a tenant that is not registered (and was
+	// not auto-registered: lookups like Stats and Delete never register).
+	ErrUnknownTenant = errors.New("store: unknown tenant")
+	// ErrTenantCapacity reports that every logical partition already has
+	// a tenant.
+	ErrTenantCapacity = errors.New("store: all partitions have tenants")
+	// ErrNotFound reports a key with no stored value.
+	ErrNotFound = errors.New("store: key not found")
+	// ErrValueTooLarge rejects values over Config.MaxValueBytes.
+	ErrValueTooLarge = errors.New("store: value too large")
+	// ErrNotRecording reports StopRecording without StartRecording.
+	ErrNotRecording = errors.New("store: not recording")
+	// ErrRecording reports StartRecording while already recording.
+	ErrRecording = errors.New("store: already recording")
+)
+
+// Recorder consumes one record per cache access: the record hook the
+// serving front-end uses to capture live traffic. *trace.Writer
+// implements it. Appends are serialized by the store; implementations
+// need not be goroutine-safe.
+type Recorder interface {
+	Append(p int, addr uint64) error
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Tenants pre-registers tenant names onto partitions 0..len-1.
+	Tenants []string
+	// Static, when true, disables auto-registration: only pre-declared
+	// tenants are served, and requests naming others fail with
+	// ErrUnknownTenant.
+	Static bool
+	// MaxValueBytes caps Set value sizes; 0 means unlimited.
+	MaxValueBytes int64
+}
+
+// TenantStats reports one tenant's serving counters. CacheHits and
+// CacheMisses count the simulated cache's outcomes over Get and Set
+// accesses; Keys and Bytes describe the stored values.
+type TenantStats struct {
+	Tenant      string  `json:"tenant"`
+	Partition   int     `json:"partition"`
+	Gets        int64   `json:"gets"`
+	Sets        int64   `json:"sets"`
+	Deletes     int64   `json:"deletes"`
+	CacheHits   int64   `json:"cacheHits"`
+	CacheMisses int64   `json:"cacheMisses"`
+	HitRatio    float64 `json:"hitRatio"` // CacheHits / (CacheHits+CacheMisses)
+	Keys        int64   `json:"keys"`
+	Bytes       int64   `json:"bytes"`
+	AllocLines  int64   `json:"allocLines"` // current partition allocation
+}
+
+// tenant is one registered tenant: a logical partition, its value map,
+// and its counters.
+type tenant struct {
+	name  string
+	part  int
+	space uint64 // sim.AppSpace(part), OR-ed onto every address
+
+	mu    sync.RWMutex
+	vals  map[string][]byte
+	bytes int64
+
+	gets, sets, deletes atomic.Int64
+	hits, misses        atomic.Int64
+}
+
+// Store is the keyed serving layer. Construct with New (or the public
+// builder talus.NewStore).
+type Store struct {
+	ac  *adaptive.Cache
+	cfg Config
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+	byPart  []*tenant // partition index → tenant (nil while unclaimed)
+
+	recording atomic.Bool // fast-path gate; truth lives under recMu
+	recMu     sync.Mutex
+	rec       Recorder
+	recW      *trace.Writer // non-nil only for file-backed recording
+	recF      *os.File
+	recErr    error
+}
+
+// New builds a Store over an adaptive cache, registering cfg.Tenants
+// onto the first partitions. The cache's logical partition count bounds
+// the tenant count.
+func New(ac *adaptive.Cache, cfg Config) (*Store, error) {
+	if len(cfg.Tenants) > ac.NumLogical() {
+		return nil, fmt.Errorf("%w: %d tenants for %d partitions", ErrTenantCapacity, len(cfg.Tenants), ac.NumLogical())
+	}
+	s := &Store{
+		ac:      ac,
+		cfg:     cfg,
+		tenants: make(map[string]*tenant, ac.NumLogical()),
+		byPart:  make([]*tenant, ac.NumLogical()),
+	}
+	for _, name := range cfg.Tenants {
+		if _, err := s.register(name); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// hashKey maps a key to its 48-bit line address by FNV-1a: stable
+// across processes and platforms, so traces recorded here replay
+// anywhere. Bits 48–63 stay clear for the feeders' partition offsets.
+func hashKey(key string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h & (1<<48 - 1)
+}
+
+// register claims the next free partition for name. Caller must NOT
+// hold s.mu.
+func (s *Store) register(name string) (*tenant, error) {
+	if name == "" {
+		return nil, ErrEmptyTenant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t, nil // raced with another registration of the same name
+	}
+	part := -1
+	for p, t := range s.byPart {
+		if t == nil {
+			part = p
+			break
+		}
+	}
+	if part < 0 {
+		return nil, fmt.Errorf("%w (%d)", ErrTenantCapacity, len(s.byPart))
+	}
+	t := &tenant{name: name, part: part, space: sim.AppSpace(part), vals: make(map[string][]byte)}
+	s.tenants[name] = t
+	s.byPart[part] = t
+	return t, nil
+}
+
+// resolve returns the tenant for name, auto-registering it when allowed.
+func (s *Store) resolve(name string, autoRegister bool) (*tenant, error) {
+	if name == "" {
+		return nil, ErrEmptyTenant
+	}
+	s.mu.RLock()
+	t := s.tenants[name]
+	s.mu.RUnlock()
+	if t != nil {
+		return t, nil
+	}
+	if !autoRegister || s.cfg.Static {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	return s.register(name)
+}
+
+// access drives one request through the record hook and the adaptive
+// datapath, and updates the tenant's hit counters.
+func (s *Store) access(t *tenant, addr uint64) bool {
+	if s.recording.Load() {
+		s.recMu.Lock()
+		if s.rec != nil {
+			if err := s.rec.Append(t.part, addr); err != nil && s.recErr == nil {
+				s.recErr = err
+			}
+		}
+		s.recMu.Unlock()
+	}
+	hit := s.ac.Access(addr|t.space, t.part)
+	if hit {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+	return hit
+}
+
+// Get looks key up for tenant. It always performs one cache access
+// (misses shape the miss curve exactly like a real cache's fill
+// traffic) and returns the stored bytes, whether the simulated cache
+// line hit, and ErrNotFound when the key holds no value. The returned
+// slice is shared — callers must not modify it.
+func (s *Store) Get(tenantName, key string) (value []byte, hit bool, err error) {
+	if key == "" {
+		return nil, false, ErrEmptyKey
+	}
+	t, err := s.resolve(tenantName, true)
+	if err != nil {
+		return nil, false, err
+	}
+	t.gets.Add(1)
+	hit = s.access(t, hashKey(key))
+	t.mu.RLock()
+	value, ok := t.vals[key]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, hit, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return value, hit, nil
+}
+
+// Set stores value under (tenant, key), warming the key's cache line,
+// and reports whether that line hit (i.e. the key's line was already
+// resident). The value is copied.
+func (s *Store) Set(tenantName, key string, value []byte) (hit bool, err error) {
+	if key == "" {
+		return false, ErrEmptyKey
+	}
+	if s.cfg.MaxValueBytes > 0 && int64(len(value)) > s.cfg.MaxValueBytes {
+		return false, fmt.Errorf("%w: %d bytes (limit %d)", ErrValueTooLarge, len(value), s.cfg.MaxValueBytes)
+	}
+	t, err := s.resolve(tenantName, true)
+	if err != nil {
+		return false, err
+	}
+	t.sets.Add(1)
+	hit = s.access(t, hashKey(key))
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	t.mu.Lock()
+	t.bytes += int64(len(cp)) - int64(len(t.vals[key]))
+	t.vals[key] = cp
+	t.mu.Unlock()
+	return hit, nil
+}
+
+// Delete removes (tenant, key), reporting whether a value existed. It
+// generates no cache traffic (a delete is not a reuse) and never
+// auto-registers tenants.
+func (s *Store) Delete(tenantName, key string) (existed bool, err error) {
+	if key == "" {
+		return false, ErrEmptyKey
+	}
+	t, err := s.resolve(tenantName, false)
+	if err != nil {
+		return false, err
+	}
+	t.deletes.Add(1)
+	t.mu.Lock()
+	old, ok := t.vals[key]
+	if ok {
+		t.bytes -= int64(len(old))
+		delete(t.vals, key)
+	}
+	t.mu.Unlock()
+	return ok, nil
+}
+
+// Tenants returns the registered tenant names in partition order.
+func (s *Store) Tenants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tenants))
+	for _, t := range s.byPart {
+		if t != nil {
+			out = append(out, t.name)
+		}
+	}
+	return out
+}
+
+// statsOf snapshots one tenant's counters.
+func (s *Store) statsOf(t *tenant, allocs []int64) TenantStats {
+	t.mu.RLock()
+	keys, bytes := int64(len(t.vals)), t.bytes
+	t.mu.RUnlock()
+	st := TenantStats{
+		Tenant:      t.name,
+		Partition:   t.part,
+		Gets:        t.gets.Load(),
+		Sets:        t.sets.Load(),
+		Deletes:     t.deletes.Load(),
+		CacheHits:   t.hits.Load(),
+		CacheMisses: t.misses.Load(),
+		Keys:        keys,
+		Bytes:       bytes,
+	}
+	if acc := st.CacheHits + st.CacheMisses; acc > 0 {
+		st.HitRatio = float64(st.CacheHits) / float64(acc)
+	}
+	if t.part < len(allocs) {
+		st.AllocLines = allocs[t.part]
+	}
+	return st
+}
+
+// Stats returns one tenant's serving counters.
+func (s *Store) Stats(tenantName string) (TenantStats, error) {
+	t, err := s.resolve(tenantName, false)
+	if err != nil {
+		return TenantStats{}, err
+	}
+	return s.statsOf(t, s.ac.Allocations()), nil
+}
+
+// StatsAll returns every registered tenant's counters, sorted by
+// tenant name for stable output.
+func (s *Store) StatsAll() []TenantStats {
+	allocs := s.ac.Allocations()
+	s.mu.RLock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		ts = append(ts, t)
+	}
+	s.mu.RUnlock()
+	out := make([]TenantStats, len(ts))
+	for i, t := range ts {
+		out[i] = s.statsOf(t, allocs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Curves returns tenant's live measured miss curve (misses per
+// kilo-access, EWMA over recent epochs) and its lower convex hull —
+// the curve Talus realizes for it. Both are nil before the first epoch
+// with traffic.
+func (s *Store) Curves(tenantName string) (measured, hulled *curve.Curve, err error) {
+	t, err := s.resolve(tenantName, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	measured = s.ac.Curve(t.part)
+	if measured == nil {
+		return nil, nil, nil
+	}
+	return measured, hull.Lower(measured), nil
+}
+
+// Cache exposes the underlying adaptive runtime (allocations, epochs,
+// per-partition Talus configs).
+func (s *Store) Cache() *adaptive.Cache { return s.ac }
+
+// CacheStats returns router-level access counts when the inner cache
+// tracks them (sharded caches do); ok reports availability.
+func (s *Store) CacheStats() (st cache.Stats, ok bool) {
+	if c, has := s.ac.Shadowed().Inner().(interface{ Stats() cache.Stats }); has {
+		return c.Stats(), true
+	}
+	return cache.Stats{}, false
+}
+
+// SetRecorder installs (or, with nil, removes) the record hook: every
+// subsequent Get/Set access is appended as (partition, raw address).
+// Not valid while file-backed recording is active.
+func (s *Store) SetRecorder(r Recorder) error {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	if s.recW != nil {
+		return ErrRecording
+	}
+	s.rec = r
+	s.recErr = nil
+	s.recording.Store(r != nil)
+	return nil
+}
+
+// StartRecording begins capturing front-end traffic to a trace file at
+// path (gzip-compressed when gz), with registered tenant names embedded
+// as per-partition metadata. The trace replays through
+// sim.RunAdaptiveTraceFile against a cache built like this store's.
+func (s *Store) StartRecording(path string, gz bool) error {
+	metas := make([]trace.AppMeta, s.ac.NumLogical())
+	s.mu.RLock()
+	for p, t := range s.byPart {
+		if t != nil {
+			metas[p] = trace.AppMeta{Name: t.name}
+		}
+	}
+	s.mu.RUnlock()
+
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	if s.rec != nil {
+		return ErrRecording
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	opts := []trace.WriterOption{trace.WithApps(metas)}
+	if gz {
+		opts = append(opts, trace.WithGzip())
+	}
+	w, err := trace.NewWriter(f, s.ac.NumLogical(), opts...)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	s.rec, s.recW, s.recF, s.recErr = w, w, f, nil
+	s.recording.Store(true)
+	return nil
+}
+
+// StopRecording flushes and closes the current file-backed recording,
+// returning the number of records captured (or the first append error).
+func (s *Store) StopRecording() (int64, error) {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	if s.recW == nil {
+		return 0, ErrNotRecording
+	}
+	count := s.recW.Count()
+	err := s.recErr
+	if cerr := s.recW.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := s.recF.Close(); err == nil {
+		err = cerr
+	}
+	s.rec, s.recW, s.recF, s.recErr = nil, nil, nil, nil
+	s.recording.Store(false)
+	return count, err
+}
+
+// Recording reports whether a record hook is currently attached.
+func (s *Store) Recording() bool { return s.recording.Load() }
+
+// Close stops any active recording and shuts down the adaptive cache's
+// background epoch ticker. The store rejects nothing after Close — it
+// simply stops recording and reconfiguring on wall-clock time.
+func (s *Store) Close() error {
+	s.recMu.Lock()
+	needStop := s.recW != nil
+	s.recMu.Unlock()
+	var err error
+	if needStop {
+		_, err = s.StopRecording()
+	}
+	if cerr := s.ac.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -382,6 +382,32 @@ func (r *Reader) Next() (Record, error) {
 	return Record{P: int(p), Addr: r.last[p]}, nil
 }
 
+// FileReader is a Reader that owns its file handle: the streaming
+// counterpart of Load, for traces larger than memory. Read records with
+// Next; Close when done.
+type FileReader struct {
+	*Reader
+	f *os.File
+}
+
+// OpenFile opens path and parses the trace header, returning a
+// FileReader positioned at the first record.
+func OpenFile(path string) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return &FileReader{Reader: r, f: f}, nil
+}
+
+// Close releases the underlying file.
+func (r *FileReader) Close() error { return r.f.Close() }
+
 // --- Loaded traces ------------------------------------------------------
 
 // Trace is a fully loaded trace: header plus all records in stream
@@ -533,17 +559,10 @@ const (
 	DefaultMLP     = 2.0
 )
 
-// specOf builds a workload.Spec replaying addrs, using meta when
-// carried.
-func specOf(name string, meta AppMeta, ok bool, addrs []uint64) (workload.Spec, error) {
-	rp, err := NewReplay(addrs)
-	if err != nil {
-		return workload.Spec{}, err
-	}
-	spec := workload.Spec{
-		Name: name, APKI: DefaultAPKI, CPIBase: DefaultCPIBase, MLP: DefaultMLP,
-		Build: func() workload.Pattern { return rp.Clone() },
-	}
+// metaSpec builds a pattern-less workload.Spec named name with the
+// default core-model parameters, overridden by meta when carried.
+func metaSpec(name string, meta AppMeta, ok bool) workload.Spec {
+	spec := workload.Spec{Name: name, APKI: DefaultAPKI, CPIBase: DefaultCPIBase, MLP: DefaultMLP}
 	if ok {
 		if meta.Name != "" {
 			spec.Name = meta.Name
@@ -558,6 +577,37 @@ func specOf(name string, meta AppMeta, ok bool, addrs []uint64) (workload.Spec, 
 			spec.MLP = meta.MLP
 		}
 	}
+	return spec
+}
+
+// HeaderSpecs returns one metadata-only workload.Spec per partition of
+// h: the same names and core-model parameters Trace.Specs would yield,
+// but with no Build function, so no addresses need loading. Streaming
+// replay uses these to label results and scale MPKI while the trace
+// itself carries the traffic; instantiating one with workload.NewApp
+// panics (there is no pattern to build).
+func HeaderSpecs(h Header) []workload.Spec {
+	out := make([]workload.Spec, h.NumPartitions)
+	for p := range out {
+		var meta AppMeta
+		ok := false
+		if h.Apps != nil && p < len(h.Apps) {
+			meta, ok = h.Apps[p], true
+		}
+		out[p] = metaSpec(fmt.Sprintf("trace-p%d", p), meta, ok)
+	}
+	return out
+}
+
+// specOf builds a workload.Spec replaying addrs, using meta when
+// carried.
+func specOf(name string, meta AppMeta, ok bool, addrs []uint64) (workload.Spec, error) {
+	rp, err := NewReplay(addrs)
+	if err != nil {
+		return workload.Spec{}, err
+	}
+	spec := metaSpec(name, meta, ok)
+	spec.Build = func() workload.Pattern { return rp.Clone() }
 	return spec, nil
 }
 
@@ -568,7 +618,7 @@ func specOf(name string, meta AppMeta, ok bool, addrs []uint64) (workload.Spec, 
 // partition's addresses are offset into a disjoint subspace before
 // merging; flattening raw would alias unrelated apps' lines into
 // spurious reuse. The offset lives in bits 56–63 — above the bits
-// 48–55 the feeders OR their own per-app offset into (sim.appSpace)
+// 48–55 the feeders OR their own per-app offset into (sim.AppSpace)
 // and the bits 40–47 Mix/Phased use for component indices — because
 // the fields combine by OR: overlapping them would collapse distinct
 // partitions ((2|1)<<48 == (3|1)<<48). That field width caps flattened

@@ -1,0 +1,244 @@
+// Functional-options construction: the single public entry point for
+// building the serving stack. The telescoping constructors this
+// replaces (BuildCache, NewShardedCache, NewAdaptiveCache) grew one
+// positional argument per PR; New collapses them into self-describing
+// options with centrally validated defaults, so the zero-option call
+//
+//	ac, err := talus.New()
+//
+// yields a working adaptive sharded cache — the paper's 8-core CMP
+// shape (8 MB LLC, 8 shards, 8 partitions, vantage partitioning over
+// LRU, hill climbing on hulls every 2^20 accesses) — and every option
+// adjusts exactly one knob. NewStore builds the keyed Get/Set layer
+// over the same options; the deprecated constructors remain as thin
+// wrappers.
+package talus
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"talus/internal/serve"
+	"talus/internal/sim"
+	"talus/internal/store"
+)
+
+// options accumulates the builder's knobs. Later options win; defaults
+// fill in whatever was left unset, and build validates the result
+// centrally so every constructor path shares one set of error messages.
+type options struct {
+	capacityLines int64
+	scheme        string
+	policy        string
+	assoc         int
+	shards        int
+	partitions    int
+	margin        float64
+	marginSet     bool
+	acfg          AdaptiveConfig
+
+	// Store-only knobs (ignored by New).
+	tenants       []string
+	staticTenants bool
+	maxValueBytes int64
+}
+
+// Option configures New and NewStore.
+type Option func(*options)
+
+// WithCapacity sets the cache capacity in 64-byte lines.
+func WithCapacity(lines int64) Option { return func(o *options) { o.capacityLines = lines } }
+
+// WithCapacityMB sets the cache capacity in megabytes.
+func WithCapacityMB(mb float64) Option {
+	return func(o *options) { o.capacityLines = int64(MBToLines(mb)) }
+}
+
+// WithScheme selects the partitioning scheme: "none", "way", "set",
+// "vantage" (default), "futility", or "ideal".
+func WithScheme(scheme string) Option { return func(o *options) { o.scheme = scheme } }
+
+// WithPolicy selects the replacement policy: "LRU" (default), "SRRIP",
+// "BRRIP", "DRRIP", "TA-DRRIP", "DIP", "PDP", or "Random".
+func WithPolicy(policy string) Option { return func(o *options) { o.policy = policy } }
+
+// WithShards sets how many independently locked shards stripe the
+// cache; concurrency scales with shards, contents stay deterministic
+// for a given configuration.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
+// WithPartitions sets the number of logical partitions (tenants the
+// serving layer can host; apps a simulation can interleave).
+func WithPartitions(n int) Option { return func(o *options) { o.partitions = n } }
+
+// WithAssoc sets the set-associativity of each shard's array.
+func WithAssoc(ways int) Option { return func(o *options) { o.assoc = ways } }
+
+// WithMargin sets the Talus sampling-rate safety margin (the paper's
+// §VI-B δ; default DefaultMargin = 5%). Negative disables it.
+func WithMargin(margin float64) Option {
+	return func(o *options) {
+		o.marginSet = true
+		o.margin = max(margin, 0)
+	}
+}
+
+// WithSeed seeds the whole stack (shard hashes, samplers, monitors)
+// deterministically.
+func WithSeed(seed uint64) Option { return func(o *options) { o.acfg.Seed = seed } }
+
+// WithAdaptive replaces the whole control-loop configuration (epoch
+// length, wall-clock interval, EWMA retention, allocator, seed). It
+// overrides earlier WithSeed/WithAllocator/WithEpochInterval calls and
+// is overridden field-by-field by later ones.
+func WithAdaptive(cfg AdaptiveConfig) Option { return func(o *options) { o.acfg = cfg } }
+
+// WithAllocator sets the epoch allocation policy (default
+// HillClimbAllocator — optimal on hulls, the paper's point).
+func WithAllocator(a Allocator) Option { return func(o *options) { o.acfg.Allocator = a } }
+
+// WithEpochInterval adds a wall-clock epoch trigger alongside the
+// access-count one, so lightly loaded partitions still reconfigure on
+// time. Caches built with it must be Closed to stop the ticker.
+func WithEpochInterval(d time.Duration) Option {
+	return func(o *options) { o.acfg.EpochInterval = d }
+}
+
+// WithTenants pre-registers tenant names onto the first partitions
+// (NewStore only). Without WithPartitions, the default partition count
+// grows to fit them but never shrinks below it — unnamed tenants can
+// still register on first use.
+func WithTenants(names ...string) Option { return func(o *options) { o.tenants = names } }
+
+// WithStaticTenants pre-registers names and disables auto-registration:
+// requests naming any other tenant are refused, and (without
+// WithPartitions) the cache is built with exactly len(names) partitions
+// (NewStore only).
+func WithStaticTenants(names ...string) Option {
+	return func(o *options) {
+		o.tenants = names
+		o.staticTenants = true
+	}
+}
+
+// WithMaxValueBytes caps stored value sizes (NewStore only; 0 means
+// unlimited at the store layer — the HTTP front-end still enforces its
+// own body limit).
+func WithMaxValueBytes(n int64) Option { return func(o *options) { o.maxValueBytes = n } }
+
+// build applies opts over the defaults and validates the result.
+func build(opts []Option) (*options, error) {
+	o := &options{
+		capacityLines: int64(MBToLines(sim.CoresMP * sim.LLCPerCoreMB)),
+		scheme:        "vantage",
+		policy:        "LRU",
+		assoc:         sim.DefaultAssoc,
+		shards:        sim.CoresMP,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.partitions == 0 {
+		switch {
+		case o.staticTenants:
+			// A closed tenant set needs exactly its own partitions.
+			o.partitions = len(o.tenants)
+		case len(o.tenants) > sim.CoresMP:
+			// Open registration: the default grows to fit the pre-declared
+			// tenants but never shrinks below it, so later tenants can
+			// still register on first use.
+			o.partitions = len(o.tenants)
+		default:
+			o.partitions = sim.CoresMP
+		}
+	}
+	if !o.marginSet {
+		o.margin = DefaultMargin
+	}
+	switch {
+	case o.capacityLines <= 0:
+		return nil, fmt.Errorf("talus: capacity %d lines; WithCapacity/WithCapacityMB need a positive size", o.capacityLines)
+	case o.shards < 1:
+		return nil, fmt.Errorf("talus: %d shards; WithShards needs at least 1", o.shards)
+	case o.partitions < 1:
+		return nil, fmt.Errorf("talus: %d partitions; WithPartitions needs at least 1", o.partitions)
+	case o.assoc < 1:
+		return nil, fmt.Errorf("talus: associativity %d; WithAssoc needs at least 1 way", o.assoc)
+	case len(o.tenants) > o.partitions:
+		return nil, fmt.Errorf("talus: %d tenants for %d partitions; raise WithPartitions", len(o.tenants), o.partitions)
+	}
+	return o, nil
+}
+
+// New constructs the adaptive serving stack from functional options: a
+// sharded LLC, the Talus shadow-partition runtime over it, and the
+// epoch-driven monitor → hull → allocator control loop over that. With
+// zero options it is the paper's 8-core CMP shape and works as is; see
+// the With* options for each knob. Scheme and policy names are
+// validated on construction (errors enumerate the valid names). When
+// built with WithEpochInterval, Close the cache to stop its ticker.
+func New(opts ...Option) (*AdaptiveCache, error) {
+	o, err := build(opts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.BuildAdaptiveCache(o.scheme, o.capacityLines, o.assoc, o.shards, o.partitions,
+		o.policy, o.margin, o.acfg)
+}
+
+// Store is the keyed serving layer: Get/Set/Delete over (tenant, key)
+// pairs mapped onto the adaptive cache's partitions and line addresses,
+// with real value storage, per-tenant Stats, live miss Curves, and an
+// optional traffic Recorder. See NewStore.
+type Store = store.Store
+
+// TenantStats reports one tenant's serving counters.
+type TenantStats = store.TenantStats
+
+// Store boundary errors (see the internal/store package docs).
+var (
+	ErrEmptyTenant    = store.ErrEmptyTenant
+	ErrEmptyKey       = store.ErrEmptyKey
+	ErrUnknownTenant  = store.ErrUnknownTenant
+	ErrTenantCapacity = store.ErrTenantCapacity
+	ErrNotFound       = store.ErrNotFound
+	ErrValueTooLarge  = store.ErrValueTooLarge
+)
+
+// NewStore constructs the keyed store over a cache built from the same
+// options New takes, plus the store-specific ones (WithTenants,
+// WithStaticTenants, WithMaxValueBytes). Tenants map to logical
+// partitions (first come, first served unless static); keys hash to
+// line addresses; every request drives the adaptive control loop.
+// Close the store when done (stops recording and the epoch ticker).
+func NewStore(opts ...Option) (*Store, error) {
+	o, err := build(opts)
+	if err != nil {
+		return nil, err
+	}
+	ac, err := sim.BuildAdaptiveCache(o.scheme, o.capacityLines, o.assoc, o.shards, o.partitions,
+		o.policy, o.margin, o.acfg)
+	if err != nil {
+		return nil, err
+	}
+	return store.New(ac, store.Config{
+		Tenants:       o.tenants,
+		Static:        o.staticTenants,
+		MaxValueBytes: o.maxValueBytes,
+	})
+}
+
+// ServeConfig parameterizes the HTTP front-end handler: the PUT body
+// cap (0 → 1 MiB) and the directory trace captures may be written into
+// (empty keeps POST /v1/record disabled — it writes server-side files,
+// so enabling it is an explicit operator decision).
+type ServeConfig = serve.Config
+
+// NewServeHandler returns the stdlib HTTP front-end over st — the same
+// handler cmd/talus-serve mounts (GET/PUT/DELETE /v1/cache/{tenant}/{key},
+// /v1/stats, /v1/curves, /v1/record) — for embedding in an existing
+// server.
+func NewServeHandler(st *Store, cfg ServeConfig) http.Handler {
+	return serve.NewHandler(st, cfg)
+}

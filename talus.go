@@ -21,12 +21,19 @@
 //     the Talus runtime via batched accesses (AccessBatch) — and the
 //     parallel experiment engine (SweepConfig.Parallelism, RunMixes)
 //     whose results are byte-identical to sequential runs;
-//   - the online control loop (NewAdaptiveCache): an epoch-driven
-//     runtime that monitors the live stream with per-partition UMONs,
-//     convexifies the measured curves, runs a pluggable Allocator over
-//     the hulls, and live-reconfigures shadow sizes and sampling rates —
-//     the paper's self-tuning end-to-end system (§VI), goroutine-safe
-//     over a sharded inner cache.
+//   - the online control loop: an epoch-driven runtime that monitors
+//     the live stream with per-partition UMONs, convexifies the
+//     measured curves, runs a pluggable Allocator over the hulls, and
+//     live-reconfigures shadow sizes and sampling rates — the paper's
+//     self-tuning end-to-end system (§VI), goroutine-safe over a
+//     sharded inner cache. Construct it with New (functional options;
+//     zero options yield a working stack) and, when configured with a
+//     wall-clock epoch interval, Close it when done;
+//   - the keyed serving layer (NewStore): Get/Set/Delete over
+//     (tenant, key) pairs with real value storage, per-tenant Stats,
+//     live measured/hulled miss Curves, and a record hook capturing
+//     front-end traffic as replayable traces — plus the stdlib HTTP
+//     front-end (NewServeHandler, cmd/talus-serve) over it.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results; runnable examples live under examples/.
@@ -153,6 +160,11 @@ func NewShadowedCache(inner PartitionedCache, numLogical int, margin float64, se
 // BuildCache constructs a simulated LLC: scheme is one of "none", "way",
 // "set", "vantage", "ideal"; policyName one of "LRU", "SRRIP", "BRRIP",
 // "DRRIP", "TA-DRRIP", "DIP", "PDP", "Random".
+//
+// Deprecated: the positional-argument constructors are frozen. Use
+// New with functional options (WithScheme, WithPolicy, ...) for the
+// full adaptive stack; BuildCache remains for callers assembling the
+// layers by hand (e.g. a ShadowedCache over a custom inner cache).
 func BuildCache(scheme string, capacityLines int64, assoc, numPartitions int, policyName string, threads int, seed uint64) (PartitionedCache, error) {
 	return sim.BuildCache(scheme, capacityLines, assoc, numPartitions, policyName, threads, seed)
 }
@@ -163,6 +175,10 @@ func BuildCache(scheme string, capacityLines int64, assoc, numPartitions int, po
 // Access/AccessBatch, aggregates Stats across shards, and — built with
 // 2×N partitions — can back NewShadowedCache so the whole Talus runtime
 // is safe for concurrent use.
+//
+// Deprecated: use New (WithShards selects the shard count); the
+// options builder constructs the same sharded cache inside the
+// adaptive stack. NewShardedCache remains for hand-assembled layers.
 func NewShardedCache(scheme string, capacityLines int64, assoc, numShards, numPartitions int, policyName string, threads int, seed uint64) (*ShardedCache, error) {
 	return sim.BuildShardedCache(scheme, capacityLines, assoc, numShards, numPartitions, policyName, threads, seed)
 }
@@ -173,6 +189,11 @@ func NewShardedCache(scheme string, capacityLines int64, assoc, numShards, numPa
 // with Access/AccessBatch; the cache measures miss curves, convexifies
 // them, and reallocates capacity every cfg.EpochAccesses accesses. With
 // numShards > 1 the whole stack is safe for concurrent use.
+//
+// Deprecated: use New — the same stack from functional options instead
+// of eight positional arguments, with working defaults for every knob
+// (TestNewMatchesDeprecatedConstructors proves them equivalent
+// config-for-config).
 func NewAdaptiveCache(scheme string, capacityLines int64, assoc, numShards, numPartitions int, policyName string, margin float64, cfg AdaptiveConfig) (*AdaptiveCache, error) {
 	return sim.BuildAdaptiveCache(scheme, capacityLines, assoc, numShards, numPartitions, policyName, margin, cfg)
 }
