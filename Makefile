@@ -1,0 +1,40 @@
+# Developer entry points. Everything here is plain go tool invocations —
+# the Makefile only names the workflows CI and DESIGN.md refer to.
+
+GO ?= go
+
+.PHONY: all build test race check fmt vet examples bench-smoke bench-serving
+
+all: check test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check = the CI hygiene gate: formatting, vet, and a full build.
+check: fmt vet build
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# examples compiles and runs every Example function (their Output
+# comments are asserted), keeping the documented snippets honest.
+examples:
+	$(GO) test -run '^Example' ./...
+
+# bench-smoke is the CI benchmark pass: every benchmark once, reduced scale.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
+
+# bench-serving regenerates BENCH_serving.json, the serving hot path's
+# tracked perf baseline (store Get/Put, adaptive AccessBatch, monitor).
+bench-serving:
+	$(GO) run ./cmd/talus-bench -out BENCH_serving.json

@@ -10,6 +10,7 @@
 package talus
 
 import (
+	"fmt"
 	"io"
 	"sync/atomic"
 	"testing"
@@ -313,6 +314,122 @@ func BenchmarkAdaptiveAccessBatch(b *testing.B) {
 		}
 	})
 }
+
+// --- serving-layer benches ------------------------------------------------
+
+// benchServingStore builds the keyed store the serving benches run
+// against: the zero-option production shape (8 MB, 8 shards, 8
+// partitions, 2^20-access epochs) with one pre-registered tenant — the
+// same stack `talus-serve` runs with no flags, so these numbers track
+// what the HTTP front-end's store layer costs.
+func benchServingStore(b *testing.B, opts ...Option) *Store {
+	b.Helper()
+	base := []Option{
+		WithTenants("bench"),
+		WithSeed(42),
+	}
+	st, err := NewStore(append(base, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return st
+}
+
+// benchStoreKeys pre-renders the key set so key formatting stays out of
+// the measured loop. 4096 keys over a 16384-line cache: a warm but not
+// fully resident working set.
+func benchStoreKeys() []string {
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = "user:" + string(rune('a'+i%26)) + ":" + fmt.Sprint(i)
+	}
+	return keys
+}
+
+func benchStoreGet(b *testing.B, opts ...Option) {
+	st := benchServingStore(b, opts...)
+	keys := benchStoreKeys()
+	val := make([]byte, 64)
+	for _, k := range keys {
+		if _, err := st.Set("bench", k, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Get("bench", keys[i&4095]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet measures the sequential keyed-Get hot path with the
+// request batcher on: an idle lane flushes immediately, so this is the
+// batcher's no-concurrency overhead on top of hash+monitor+cache+map.
+func BenchmarkStoreGet(b *testing.B) { benchStoreGet(b) }
+
+// BenchmarkStoreGetNoBatch is the sequential pre-batching baseline: one
+// direct datapath crossing per request.
+func BenchmarkStoreGetNoBatch(b *testing.B) { benchStoreGet(b, WithBatchSize(1)) }
+
+func benchStoreGetParallel(b *testing.B, opts ...Option) {
+	st := benchServingStore(b, opts...)
+	keys := benchStoreKeys()
+	val := make([]byte, 64)
+	for _, k := range keys {
+		if _, err := st.Set("bench", k, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := hash.NewSplitMix64(benchGoroutineSeed.Add(1))
+		for pb.Next() {
+			if _, _, err := st.Get("bench", keys[rng.Uint64n(4096)]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkStoreGetParallel measures concurrent keyed Gets on one hot
+// tenant with the request batcher coalescing in-flight accesses — the
+// serving hot path after the batching overhaul.
+func BenchmarkStoreGetParallel(b *testing.B) { benchStoreGetParallel(b) }
+
+// BenchmarkStoreGetParallelNoBatch is the pre-batching per-request-lock
+// baseline the overhaul is measured against: every Get serializes on the
+// tenant's monitor-lane mutex.
+func BenchmarkStoreGetParallelNoBatch(b *testing.B) { benchStoreGetParallel(b, WithBatchSize(1)) }
+
+func benchStoreSetParallel(b *testing.B, opts ...Option) {
+	st := benchServingStore(b, opts...)
+	keys := benchStoreKeys()
+	val := make([]byte, 64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := hash.NewSplitMix64(benchGoroutineSeed.Add(1))
+		for pb.Next() {
+			if _, err := st.Set("bench", keys[rng.Uint64n(4096)], val); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkStoreSetParallel measures concurrent keyed Puts (value copy,
+// value-map write lock, batched cache access).
+func BenchmarkStoreSetParallel(b *testing.B) { benchStoreSetParallel(b) }
+
+// BenchmarkStoreSetParallelNoBatch is the unbatched Put baseline.
+func BenchmarkStoreSetParallelNoBatch(b *testing.B) { benchStoreSetParallel(b, WithBatchSize(1)) }
 
 // BenchmarkUMONObserve measures monitor overhead per access (most
 // accesses fail the sampling filter, as in hardware).

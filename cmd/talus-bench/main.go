@@ -1,0 +1,170 @@
+// Command talus-bench runs the serving and adaptive hot-path benchmarks
+// and emits a machine-readable JSON baseline, so the serving layer's
+// performance trajectory is tracked across PRs the same way the figure
+// experiments track fidelity.
+//
+// Usage:
+//
+//	talus-bench [-bench regex] [-benchtime 2s] [-count 1] [-pkg .] [-out BENCH_serving.json]
+//
+// It shells out to `go test -run ^$ -bench <regex> -benchmem` (the repo
+// must be the working directory), parses the standard benchmark output
+// lines, and writes
+//
+//	{
+//	  "go": "go1.24",
+//	  "gomaxprocs": 8,
+//	  "benchmarks": [
+//	    {"name": "StoreGetParallel", "procs": 8, "iterations": 12345,
+//	     "ns_per_op": 208.7, "b_per_op": 0, "allocs_per_op": 0},
+//	    ...
+//	  ]
+//	}
+//
+// The default regex covers the keyed-store Get/Set paths, the batched
+// adaptive datapath, and its non-monitored floor, which is exactly the
+// set DESIGN.md's hot-path section quotes. `make bench-serving` runs it
+// with the defaults.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// DefaultBenchRegex selects the serving/adaptive hot-path benchmarks.
+const DefaultBenchRegex = "StoreGet|StoreSet|AdaptiveAccessBatch|ShadowedShardedBatch|UMONObserve"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Go         string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Bench      string   `json:"bench"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8  123  45.6 ns/op  7 B/op  8 allocs/op`
+// (the -procs suffix and the memory columns are optional).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		bench     = flag.String("bench", DefaultBenchRegex, "benchmark regex passed to go test -bench")
+		benchtime = flag.String("benchtime", "2s", "go test -benchtime value (e.g. 2s, 100x)")
+		count     = flag.Int("count", 1, "go test -count value")
+		pkg       = flag.String("pkg", ".", "package pattern to bench")
+		out       = flag.String("out", "BENCH_serving.json", "output JSON path (- for stdout)")
+	)
+	flag.Parse()
+	if err := run(*bench, *benchtime, *count, *pkg, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "talus-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime string, count int, pkg, out string) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime,
+		"-count", strconv.Itoa(count), pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	results, err := Parse(string(raw))
+	if err != nil {
+		return err
+	}
+	rep := Report{
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      bench,
+		Benchtime:  benchtime,
+		Benchmarks: results,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("talus-bench: %d benchmarks → %s\n", len(results), out)
+	return nil
+}
+
+// Parse extracts benchmark results from `go test -bench` output. With
+// -count > 1, repeated measurements of one benchmark are averaged.
+func Parse(output string) ([]Result, error) {
+	byName := make(map[string]*Result)
+	reps := make(map[string]int64)
+	var order []string
+	for _, line := range strings.Split(output, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		procs := 1
+		if m[2] != "" {
+			procs, _ = strconv.Atoi(m[2])
+		}
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		ns, _ := strconv.ParseFloat(m[4], 64)
+		r, ok := byName[name]
+		if !ok {
+			r = &Result{Name: name, Procs: procs}
+			byName[name] = r
+			order = append(order, name)
+		}
+		reps[name]++
+		r.Iterations += iters
+		r.NsPerOp += ns
+		if m[5] != "" {
+			b, _ := strconv.ParseFloat(m[5], 64)
+			r.BPerOp += b
+		}
+		if m[6] != "" {
+			a, _ := strconv.ParseInt(m[6], 10, 64)
+			r.AllocsPerOp += a
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in go test output")
+	}
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		r := byName[name]
+		n := reps[name]
+		r.Iterations /= n
+		r.NsPerOp /= float64(n)
+		r.BPerOp /= float64(n)
+		r.AllocsPerOp /= n
+		results = append(results, *r)
+	}
+	return results, nil
+}

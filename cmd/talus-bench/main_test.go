@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: talus
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStoreGet                	12409720	       245.8 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStoreGetParallel-8      	10690707	       273.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkStoreGetParallel-8      	10690707	       272.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkH3Hash                  	903810811	         2.655 ns/op
+PASS
+ok  	talus	19.803s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(rs), rs)
+	}
+	if rs[0].Name != "StoreGet" || rs[0].Procs != 1 || rs[0].NsPerOp != 245.8 || rs[0].Iterations != 12409720 {
+		t.Fatalf("first result = %+v", rs[0])
+	}
+	// Two -count repetitions of the same benchmark average.
+	if rs[1].Name != "StoreGetParallel" || rs[1].Procs != 8 || rs[1].NsPerOp != 273.0 {
+		t.Fatalf("averaged result = %+v", rs[1])
+	}
+	// ns/op-only lines (no -benchmem columns) still parse.
+	if rs[2].Name != "H3Hash" || rs[2].NsPerOp != 2.655 || rs[2].BPerOp != 0 {
+		t.Fatalf("no-mem result = %+v", rs[2])
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse("PASS\nok talus 1s\n"); err == nil {
+		t.Fatal("want error on benchmark-free output")
+	}
+}

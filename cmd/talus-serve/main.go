@@ -11,6 +11,7 @@
 //	            [-tenants a,b,...] [-scheme vantage] [-policy LRU]
 //	            [-alloc hill] [-assoc 32] [-epoch n] [-epoch-interval 1s]
 //	            [-max-value 1048576] [-record-dir dir] [-seed s]
+//	            [-batch 64] [-batch-deadline 100µs]
 //
 // Routes:
 //
@@ -58,10 +59,12 @@ func main() {
 		maxValue   = flag.Int64("max-value", 1<<20, "maximum value size in bytes")
 		recordDir  = flag.String("record-dir", "", "directory POST /v1/record may write traces into (empty disables the endpoint)")
 		seed       = flag.Uint64("seed", 42, "deterministic seed for hashes, samplers, monitors")
+		batch      = flag.Int("batch", 0, "per-tenant request batcher: max accesses per flush (0 = 64, 1 disables batching)")
+		batchWait  = flag.Duration("batch-deadline", 0, "max time a request waits on the batcher before accessing directly (0 = 100µs, negative = unbounded)")
 	)
 	flag.Parse()
 	if err := run(*addr, *mb, *shards, *partitions, *tenants, *static, *scheme, *policy,
-		*allocName, *assoc, *epoch, *interval, *maxValue, *recordDir, *seed); err != nil {
+		*allocName, *assoc, *epoch, *interval, *maxValue, *recordDir, *seed, *batch, *batchWait); err != nil {
 		fmt.Fprintf(os.Stderr, "talus-serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -69,7 +72,7 @@ func main() {
 
 func run(addr string, mb float64, shards, partitions int, tenantList string, static bool,
 	scheme, policy, allocName string, assoc int, epoch int64, interval time.Duration,
-	maxValue int64, recordDir string, seed uint64) error {
+	maxValue int64, recordDir string, seed uint64, batch int, batchWait time.Duration) error {
 	allocator, err := talus.AllocatorByName(allocName)
 	if err != nil {
 		return err
@@ -84,6 +87,8 @@ func run(addr string, mb float64, shards, partitions int, tenantList string, sta
 		talus.WithAllocator(allocator),
 		talus.WithEpochInterval(interval),
 		talus.WithMaxValueBytes(maxValue),
+		talus.WithBatchSize(batch),
+		talus.WithBatchDeadline(batchWait),
 	}
 	if partitions > 0 {
 		opts = append(opts, talus.WithPartitions(partitions))

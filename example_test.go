@@ -2,9 +2,90 @@ package talus_test
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"talus"
 )
+
+// ExampleNew builds the full adaptive serving stack with zero options —
+// the paper's 8-core CMP shape — feeds it a scanning stream, and forces
+// one control-loop epoch: monitor → hull → Talus → allocator.
+func ExampleNew() {
+	ac, err := talus.New(talus.WithCapacityMB(1), talus.WithPartitions(2), talus.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	defer ac.Close()
+
+	for i := 0; i < 100000; i++ {
+		ac.Access(uint64(i%20000), 0) // partition 0 scans 20k lines
+	}
+	if err := ac.ForceEpoch(); err != nil {
+		panic(err)
+	}
+	allocs := ac.Allocations()
+	fmt.Println("partitions:", ac.NumLogical())
+	fmt.Println("epochs run:", ac.Epochs())
+	fmt.Println("allocated to scanner:", allocs[0] > allocs[1])
+	// Output:
+	// partitions: 2
+	// epochs run: 1
+	// allocated to scanner: true
+}
+
+// ExampleNewStore runs the keyed serving layer: tenants map to cache
+// partitions, keys hash to line addresses, and every request drives the
+// adaptive control loop while real bytes are stored exactly.
+func ExampleNewStore() {
+	st, err := talus.NewStore(talus.WithTenants("web"), talus.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	defer st.Close()
+
+	if _, err := st.Set("web", "greeting", []byte("hello talus")); err != nil {
+		panic(err)
+	}
+	value, hit, err := st.Get("web", "greeting")
+	if err != nil {
+		panic(err)
+	}
+	stats, _ := st.Stats("web")
+	fmt.Printf("%s (cache hit: %v)\n", value, hit)
+	fmt.Printf("gets=%d sets=%d\n", stats.Gets, stats.Sets)
+	// Output:
+	// hello talus (cache hit: true)
+	// gets=1 sets=1
+}
+
+// ExampleRecordTrace captures two workload clones' interleaved access
+// stream to a trace file, then loads it back as workload specs — the
+// record/replay round trip the trace subsystem guarantees is exact.
+func ExampleRecordTrace() {
+	dir, err := os.MkdirTemp("", "talus-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "mix.trc")
+
+	libq, _ := talus.LookupWorkload("libquantum")
+	mcf, _ := talus.LookupWorkload("mcf")
+	n, err := talus.RecordTrace(path, []talus.WorkloadSpec{libq, mcf}, 10000, 512, 42, false)
+	if err != nil {
+		panic(err)
+	}
+	specs, err := talus.WorkloadsFromTrace(path)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("records:", n)
+	fmt.Println("replayable apps:", len(specs))
+	// Output:
+	// records: 20000
+	// replayable apps: 2
+}
 
 // ExampleConfigure walks the paper's worked example (§III): a 4 MB cache
 // on a miss curve with a plateau from 2 MB to 5 MB.

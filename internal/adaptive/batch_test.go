@@ -1,0 +1,81 @@
+package adaptive_test
+
+import (
+	"testing"
+
+	"talus/internal/adaptive"
+	"talus/internal/hash"
+)
+
+// TestAccessBatchMatchesUnbatched pins the hot-path batching contract end
+// to end: the same access stream fed through per-access Access calls and
+// through AccessBatch runs (batch length dividing the epoch length, so
+// epoch boundaries land on batch boundaries in both runs) must produce
+// byte-identical outcomes — every per-access hit, every epoch count,
+// every allocation, every extracted curve point.
+func TestAccessBatchMatchesUnbatched(t *testing.T) {
+	const (
+		capacity = 8192
+		epoch    = 1 << 14
+		batch    = 64 // divides epoch: boundaries align across both runs
+		runs     = 768
+	)
+	cfg := adaptive.Config{EpochAccesses: epoch, Seed: 7}
+	single := buildAdaptive(t, capacity, 4, 2, cfg)
+	batched := buildAdaptive(t, capacity, 4, 2, cfg)
+
+	rng := hash.NewSplitMix64(21)
+	addrs := make([]uint64, batch)
+	singleHits := make([]bool, batch)
+	batchHits := make([]bool, batch)
+	var pos uint64
+	for run := 0; run < runs; run++ {
+		p := run % 2
+		for i := range addrs {
+			if p == 0 {
+				addrs[i] = pos % 6144 // cyclic scan: cliff past the allocation
+				pos++
+			} else {
+				addrs[i] = rng.Uint64n(2048) | 1<<32
+			}
+		}
+		for i, a := range addrs {
+			singleHits[i] = single.Access(a, p)
+		}
+		batched.AccessBatch(addrs, p, batchHits)
+		for i := range addrs {
+			if singleHits[i] != batchHits[i] {
+				t.Fatalf("run %d access %d (partition %d, addr %#x): unbatched hit=%v, batched hit=%v",
+					run, i, p, addrs[i], singleHits[i], batchHits[i])
+			}
+		}
+	}
+
+	if se, be := single.Epochs(), batched.Epochs(); se != be || se == 0 {
+		t.Fatalf("epoch counts diverge: unbatched %d, batched %d", se, be)
+	}
+	sa, ba := single.Allocations(), batched.Allocations()
+	for p := range sa {
+		if sa[p] != ba[p] {
+			t.Fatalf("allocation %d diverges: unbatched %d, batched %d", p, sa[p], ba[p])
+		}
+	}
+	for p := 0; p < 2; p++ {
+		sc, bc := single.Curve(p), batched.Curve(p)
+		if (sc == nil) != (bc == nil) {
+			t.Fatalf("partition %d: one curve nil, the other not", p)
+		}
+		if sc == nil {
+			continue
+		}
+		sp, bp := sc.Points(), bc.Points()
+		if len(sp) != len(bp) {
+			t.Fatalf("partition %d: curve lengths differ: %d vs %d", p, len(sp), len(bp))
+		}
+		for i := range sp {
+			if sp[i] != bp[i] {
+				t.Fatalf("partition %d point %d differs: %+v vs %+v", p, i, sp[i], bp[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package adaptive closes the paper's end-to-end control loop (§VI):
+// monitor → hull → Talus → allocator → reconfigure, driven online by the
+// access stream itself. The paper's system is not an offline curve
+// transformer but a self-tuning cache: UMONs observe the live stream,
+// Talus convexifies the measured miss curves, and a partitioning
+// algorithm reallocates capacity every epoch. This package is that loop
+// in software.
+//
+// Cache wraps a core.ShadowedCache and embeds one monitor.EpochMonitor
+// per logical partition on the pre-sampling access stream (monitors must
+// see the full stream; the Talus sampler splits it afterwards). Every
+// EpochAccesses observed accesses, the crossing goroutine:
+//
+//  1. extracts each partition's EWMA miss curve from its monitor bank
+//     (misses per kilo-access, all partitions sharing one denominator so
+//     curve magnitudes compare as absolute miss counts);
+//  2. convexifies the curves (core.Convexify — the Talus pre-processing
+//     step);
+//  3. runs the configured alloc.Allocator over the hulls to divide the
+//     partitionable capacity;
+//  4. live-reconfigures shadow sizes and sampling rates via
+//     core.ShadowedCache.Reconfigure (the raw curves go down too, so
+//     already-convex partitions collapse to a single shadow partition).
+//
+// # Concurrency
+//
+// All methods are safe for concurrent use when the ShadowedCache's inner
+// cache is (wrap it in a cache.ShardedCache). Each partition's monitor is
+// guarded by its own mutex; the epoch step serializes on a TryLock so at
+// most one goroutine reconfigures while the rest keep serving traffic
+// through the immutable-H3 / atomic-limit sampling datapath. Over a
+// single-threaded inner cache the loop still works and is exactly as
+// single-threaded as that cache.
+package adaptive

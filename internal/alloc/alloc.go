@@ -1,21 +1,3 @@
-// Package alloc implements the cache partitioning algorithms the paper
-// compares (§VII-D):
-//
-//   - HillClimb: trivial linear-time greedy hill climbing, which is
-//     optimal on convex curves (the whole point of Talus) but gets stuck
-//     in local optima on cliffy curves;
-//   - Lookahead: Qureshi & Patt's UCP Lookahead, the quadratic heuristic
-//     that copes with non-convexity by considering all-or-nothing
-//     extensions;
-//   - Fair: equal allocations, the paper's fairness baseline (Fig. 13);
-//   - OptimalDP: exact dynamic programming over the granule grid, used to
-//     validate the others (optimal partitioning is NP-complete only in
-//     problem size encodings; on a fixed grid DP is exact and polynomial).
-//
-// All algorithms operate on miss curves in MPKI (misses per
-// kilo-instruction), treat them as piecewise-linear, allocate in integer
-// multiples of a granule, and return per-partition line counts summing to
-// the budget.
 package alloc
 
 import (

@@ -1,0 +1,13 @@
+// Package bypass implements optimal cache bypassing, the baseline of the
+// paper's §V-C: admit a fraction ρ of accesses to the full cache and send
+// the rest straight to memory. By Theorem 4 this behaves like a partition
+// of size s sampled at rate ρ (emulating a cache of s/ρ) plus a
+// "partition of size zero" for the bypassed remainder:
+//
+//	m_bypass(s) = ρ·m(s/ρ) + (1−ρ)·m(0)                      (Eq. 6)
+//
+// which is a straight line from (0, m(0)) to (s0, m(s0)) with s0 = s/ρ.
+// Corollary 8: no choice of ρ can beat the miss curve's convex hull, so
+// Talus ≥ optimal bypassing always, with equality only where the hull's
+// supporting segment passes through (0, m(0)).
+package bypass

@@ -1,0 +1,11 @@
+// Package cache implements the last-level cache models the evaluation
+// runs on: a hash-indexed set-associative array with pluggable replacement
+// policy and partitioning scheme (the workhorse), and an idealized
+// fully-associative per-partition LRU cache (the paper's "Talus+I"
+// configuration in Fig. 8).
+//
+// The simulated LLC is non-inclusive (paper §VI-B chooses non-inclusive
+// LLCs to avoid back-invalidation anomalies) and sees only the
+// L2-filtered access stream, which the workload generators produce
+// directly. Addresses are line addresses (byte address / 64).
+package cache

@@ -171,6 +171,21 @@ func (s *ShardedCache) AccessBatch(addrs []uint64, parts []int, hits []bool) int
 	if hits != nil && len(hits) != n {
 		panic("cache: AccessBatch hits length mismatch")
 	}
+	if n == 1 {
+		// Degenerate batch: skip the grouping passes and scratch state.
+		p := 0
+		if parts != nil {
+			p = parts[0]
+		}
+		hit := s.Access(addrs[0], p)
+		if hits != nil {
+			hits[0] = hit
+		}
+		if hit {
+			return 1
+		}
+		return 0
+	}
 	nHits := 0
 	if len(s.shards) == 1 {
 		sh := &s.shards[0]

@@ -1,0 +1,43 @@
+// Package core implements Talus itself: the shadow-partitioning technique
+// of Beckmann & Sanchez (HPCA 2015) that removes performance cliffs by
+// making any replacement policy's miss curve convex.
+//
+// # Theory recap
+//
+// Given a policy and application with miss curve m(s), Theorem 4 states
+// that pseudo-randomly sampling a fraction ρ of the access stream into a
+// partition of size s' makes that partition behave like a cache of size
+// s'/ρ, with miss rate
+//
+//	m'(s') = ρ · m(s'/ρ)                                     (Eq. 1)
+//
+// Talus splits a cache (or each software-visible "logical" partition) of
+// size s into two hidden shadow partitions, α and β, sized s1 and s2 with
+// s = s1 + s2, and samples a fraction ρ of accesses into the first. The
+// combined miss rate is
+//
+//	m_shadow(s) = ρ·m(s1/ρ) + (1−ρ)·m((s−s1)/(1−ρ))          (Eq. 2)
+//
+// Lemma 5 anchors the two terms at chosen curve points α ≤ s < β:
+//
+//	s1 = ρ·α,   ρ = (β − s)/(β − α)                          (Eqs. 3–4)
+//
+// which makes the miss rate the exact linear interpolation
+//
+//	m_shadow = (β−s)/(β−α)·m(α) + (s−α)/(β−α)·m(β)           (Eq. 5)
+//
+// Theorem 6 then picks α and β as the neighboring points of s on the miss
+// curve's convex hull, so Talus traces the hull — the best convex curve
+// achievable from m — removing every cliff.
+//
+// # What lives here
+//
+// Configure computes the {α, β, ρ, s1, s2} tuple for one partition,
+// including the paper's 5% sampling-rate safety margin (§VI-B) and the
+// way-granularity recomputation (§VI-B "Talus on way partitioning").
+// Convexify is the software pre-processing step that hands partitioning
+// algorithms hull curves; ShadowedCache is the runtime that routes
+// accesses through H3 samplers into shadow partitions of an underlying
+// partitioned cache, i.e. the post-processing step plus the hardware
+// datapath of Fig. 7.
+package core

@@ -1,0 +1,12 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§VII). Each experiment prints the same rows/series the
+// paper reports (MPKI-vs-size curves, IPC-over-LRU bars, speedup
+// quantiles, fairness case studies) and optionally writes CSVs for
+// plotting. The cmd/talus-exp binary is a thin CLI over this package, and
+// the root bench_test.go runs scaled-down versions as Go benchmarks.
+//
+// Absolute numbers differ from the paper (synthetic SPEC clones, analytic
+// core model — see DESIGN.md §2); the shapes (who wins, by what factor,
+// where cliffs and crossovers sit) are the reproduction targets, recorded
+// side by side in EXPERIMENTS.md.
+package experiments

@@ -1,18 +1,3 @@
-// Package hash implements the H3 family of universal hash functions
-// (Carter & Wegman, STOC 1977) over 64-bit keys, plus the splitmix64
-// pseudo-random generator used to seed them deterministically.
-//
-// Talus's hardware sampler (paper §VI-B) hashes each incoming line address
-// with an inexpensive H3 hash to an 8-bit value and compares it against a
-// per-partition limit register: values below the limit route the access to
-// the α shadow partition, the rest to the β shadow partition. H3's pairwise
-// independence is what makes the sampled stream statistically self-similar
-// to the full stream (Assumption 3), which Theorem 4 relies on.
-//
-// An H3 hash of width w over n-bit keys is defined by an n×w random bit
-// matrix Q: h(x) = XOR over all set bits i of x of Q[i]. In software we
-// store Q as one w-bit word per input bit and XOR the words selected by the
-// key's set bits.
 package hash
 
 import "sync/atomic"

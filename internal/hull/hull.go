@@ -1,12 +1,3 @@
-// Package hull computes lower convex hulls of miss curves.
-//
-// Talus traces the convex hull of the underlying policy's miss curve
-// (paper Theorem 6): the hull is the smallest convex curve lying on or
-// below the original — "the curve produced by stretching a taut rubber
-// band across the curve from below" (§III). The paper computes hulls with
-// the three-coins algorithm; for points already sorted by size this is
-// equivalent to Andrew's monotone-chain scan implemented here, which is
-// likewise a single linear pass.
 package hull
 
 import (

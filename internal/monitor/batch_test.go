@@ -1,0 +1,124 @@
+package monitor
+
+import (
+	"testing"
+
+	"talus/internal/hash"
+)
+
+// TestObserveBatchIdentical pins the batched-observation contract: feeding
+// a stream through ObserveBatch in ragged chunks leaves the monitor bank
+// in exactly the state an Observe-per-access loop produces, so the
+// adaptive runtime's batch path cannot drift from the unbatched one.
+func TestObserveBatchIdentical(t *testing.T) {
+	const llc = 1 << 14
+	single, err := NewLRUMonitor(llc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewLRUMonitor(llc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := hash.NewSplitMix64(99)
+	stream := make([]uint64, 1<<15)
+	for i := range stream {
+		stream[i] = rng.Uint64n(3 * llc)
+	}
+	for _, a := range stream {
+		single.Observe(a)
+	}
+	for lo := 0; lo < len(stream); lo += 129 { // deliberately ragged chunks
+		hi := min(lo+129, len(stream))
+		batched.ObserveBatch(stream[lo:hi])
+	}
+
+	c1, err := single.Curve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := batched.Curve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := c1.Points(), c2.Points()
+	if len(p1) != len(p2) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// TestSharedSamplingHashNests checks the monitor bank's shared-hash
+// construction: all three arrays filter on one hash value against their
+// own thresholds, so the sparser arrays' sampled sets are subsets of the
+// denser ones' (coarse ⊆ fine ⊆ sub) and the sampled-access counts are
+// ordered accordingly.
+func TestSharedSamplingHashNests(t *testing.T) {
+	const llc = 1 << 16 // large enough that all three rates are < 1
+	m, err := NewLRUMonitor(llc, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.NewSplitMix64(5)
+	for i := 0; i < 1<<16; i++ {
+		m.Observe(rng.Uint64n(llc))
+	}
+	sub, fine, coarse := m.sub.SampledAccesses(), m.fine.SampledAccesses(), m.coarse.SampledAccesses()
+	if coarse == 0 {
+		t.Fatal("coarse array sampled nothing; stream too small for the test")
+	}
+	if !(sub >= fine && fine >= coarse) {
+		t.Fatalf("sampled sets not nested: sub %d, fine %d, coarse %d", sub, fine, coarse)
+	}
+	// Thresholds must be ordered for the subset property, not just counts.
+	if !(m.sub.thresh >= m.fine.thresh && m.fine.thresh >= m.coarse.thresh) {
+		t.Fatalf("thresholds not ordered: sub %d, fine %d, coarse %d",
+			m.sub.thresh, m.fine.thresh, m.coarse.thresh)
+	}
+}
+
+// TestEpochMonitorObserveBatchIdentical extends the pin through the
+// EpochMonitor wrapper the adaptive runtime actually calls.
+func TestEpochMonitorObserveBatchIdentical(t *testing.T) {
+	const llc = 1 << 13
+	single, err := NewEpochMonitor(llc, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewEpochMonitor(llc, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := hash.NewSplitMix64(17)
+	stream := make([]uint64, 1<<14)
+	for i := range stream {
+		stream[i] = rng.Uint64n(2 * llc)
+	}
+	for _, a := range stream {
+		single.Observe(a)
+	}
+	batched.ObserveBatch(stream)
+
+	c1, err := single.EpochCurve(float64(len(stream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := batched.EpochCurve(float64(len(stream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := c1.Points(), c2.Points()
+	if len(p1) != len(p2) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, p1[i], p2[i])
+		}
+	}
+}

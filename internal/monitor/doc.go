@@ -1,0 +1,21 @@
+// Package monitor implements the miss-curve monitors the paper relies on
+// for predictability (§II-C, §VI-C):
+//
+//   - UMON: a utility monitor (Qureshi & Patt, MICRO 2006) — a small,
+//     hash-sampled, fully-LRU auxiliary tag array with per-way hit
+//     counters. LRU's stack property makes one array yield the complete
+//     miss curve: a hit at LRU depth d would hit in any cache of more
+//     than d ways' worth of capacity.
+//   - Extended-coverage UMON: a second array sampling 16× fewer accesses,
+//     which by Theorem 4 models a proportionally larger cache — the
+//     paper's trick for seeing cliffs beyond the LLC size (libquantum's
+//     32 MB cliff from an 8 MB cache) with 16 ways.
+//   - PolicyMonitor / MultiMonitor: for non-stack policies (SRRIP), one
+//     small simulated cache per curve point, each at a different sampling
+//     rate — the paper's admittedly impractical 64-point monitors (Fig. 9)
+//     that demonstrate Talus is agnostic to replacement policy.
+//
+// Monitors observe the full (pre-Talus-sampling) access stream of one
+// logical partition and convert sampled hit/miss counts back to
+// full-stream miss curves by dividing by the sampling rate.
+package monitor

@@ -51,6 +51,11 @@ func NewEpochMonitor(llcLines int64, retain float64, seed uint64) (*EpochMonitor
 // Observe feeds one pre-sampling access to the monitor bank.
 func (e *EpochMonitor) Observe(addr uint64) { e.mon.Observe(addr) }
 
+// ObserveBatch feeds a batch of pre-sampling accesses, in order —
+// byte-identical to observing each address individually, but the bank's
+// shared sampling hash and tag arrays are walked in one pass.
+func (e *EpochMonitor) ObserveBatch(addrs []uint64) { e.mon.ObserveBatch(addrs) }
+
 // EpochCurve closes the current epoch: it accounts unitsThisEpoch
 // (instructions or accesses, in units — not kilo-units), extracts the
 // combined miss curve from the EWMA'd counters, then decays counters and

@@ -1,23 +1,3 @@
-// Package monitor implements the miss-curve monitors the paper relies on
-// for predictability (§II-C, §VI-C):
-//
-//   - UMON: a utility monitor (Qureshi & Patt, MICRO 2006) — a small,
-//     hash-sampled, fully-LRU auxiliary tag array with per-way hit
-//     counters. LRU's stack property makes one array yield the complete
-//     miss curve: a hit at LRU depth d would hit in any cache of more
-//     than d ways' worth of capacity.
-//   - Extended-coverage UMON: a second array sampling 16× fewer accesses,
-//     which by Theorem 4 models a proportionally larger cache — the
-//     paper's trick for seeing cliffs beyond the LLC size (libquantum's
-//     32 MB cliff from an 8 MB cache) with 16 ways.
-//   - PolicyMonitor / MultiMonitor: for non-stack policies (SRRIP), one
-//     small simulated cache per curve point, each at a different sampling
-//     rate — the paper's admittedly impractical 64-point monitors (Fig. 9)
-//     that demonstrate Talus is agnostic to replacement policy.
-//
-// Monitors observe the full (pre-Talus-sampling) access stream of one
-// logical partition and convert sampled hit/miss counts back to
-// full-stream miss curves by dividing by the sampling rate.
 package monitor
 
 import (
@@ -79,7 +59,18 @@ func rateToThreshold(rate float64) uint64 {
 
 // Observe feeds one access to the monitor.
 func (u *UMON) Observe(addr uint64) {
-	if u.h.Hash(addr) >= u.thresh {
+	u.ObserveHashed(addr, u.h.Hash(addr))
+}
+
+// ObserveHashed feeds one access with a precomputed 64-bit sampling hash,
+// letting a monitor bank hash each address once and fan the value out to
+// every array (LRUMonitor does this; see also PolicyMonitor.ObserveHashed).
+// Sharing the hash nests the arrays' sampled sets — an array at rate
+// r2 < r1 samples a subset of the r1 array's addresses — which Theorem 4
+// is indifferent to: each subset is still a statistically self-similar
+// slice of the stream.
+func (u *UMON) ObserveHashed(addr, hashVal uint64) {
+	if hashVal >= u.thresh {
 		return
 	}
 	u.accesses++
@@ -187,6 +178,7 @@ func (u *UMON) Reset() {
 // is often a small fraction of the LLC and the conventional monitor's
 // LLC/64 granularity would smear any cliff there.
 type LRUMonitor struct {
+	h      *hash.H3 // sampling hash shared by all three arrays
 	sub    *UMON
 	fine   *UMON
 	coarse *UMON
@@ -208,40 +200,85 @@ const (
 	coverageFactor = 4
 )
 
+// maxSampleRate caps any one array's sampling rate. The hardware UMON's
+// rate (~1024/LLC) is minuscule; only toy simulated LLCs push the fixed
+// 64×64 geometry toward rate 1, where the "sampled" array degenerates
+// into walking a 64-way LRU set on every single access — the dominant
+// term of the monitor's datapath cost at small scales. Rather than pay
+// it, arrayGeometry sheds sets until the rate is back under this cap:
+// the array models the same capacity with the same way granularity,
+// just from a 4×-thinner — and 4×-cheaper — sample of the stream.
+const maxSampleRate = 0.25
+
+// arrayGeometry sizes one monitor array for a modeled capacity: the
+// standard 64-set geometry, halving sets while the implied sampling
+// rate exceeds maxSampleRate (production-scale LLCs are unaffected).
+func arrayGeometry(modeledLines int64, ways int) (sets int, rate float64) {
+	if modeledLines < 1 {
+		modeledLines = 1
+	}
+	sets = umonSets
+	rate = float64(sets*ways) / float64(modeledLines)
+	for sets > 1 && rate > maxSampleRate {
+		sets /= 2
+		rate = float64(sets*ways) / float64(modeledLines)
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return sets, rate
+}
+
 // NewLRUMonitor builds the monitor bank for an LLC of llcLines.
 func NewLRUMonitor(llcLines int64, seed uint64) (*LRUMonitor, error) {
 	if llcLines <= 0 {
 		return nil, fmt.Errorf("monitor: bad LLC size %d", llcLines)
 	}
-	fineRate := float64(umonSets*umonWays) / float64(llcLines)
-	if fineRate > 1 {
-		fineRate = 1
-	}
-	subRate := fineRate * coverageFactor
-	if subRate > 1 {
-		subRate = 1
-	}
-	coarseRate := fineRate / coverageFactor
-	sub, err := NewUMON(umonSets, umonWays, subRate, seed^0x5B5B)
+	subSets, subRate := arrayGeometry(llcLines/coverageFactor, umonWays)
+	fineSets, fineRate := arrayGeometry(llcLines, umonWays)
+	coarseSets, coarseRate := arrayGeometry(coverageFactor*llcLines, umonCoarseWays)
+	sub, err := NewUMON(subSets, umonWays, subRate, seed^0x5B5B)
 	if err != nil {
 		return nil, err
 	}
-	fine, err := NewUMON(umonSets, umonWays, fineRate, seed)
+	fine, err := NewUMON(fineSets, umonWays, fineRate, seed)
 	if err != nil {
 		return nil, err
 	}
-	coarse, err := NewUMON(umonSets, umonCoarseWays, coarseRate, seed^0xC0A25E)
+	coarse, err := NewUMON(coarseSets, umonCoarseWays, coarseRate, seed^0xC0A25E)
 	if err != nil {
 		return nil, err
 	}
-	return &LRUMonitor{sub: sub, fine: fine, coarse: coarse, llc: llcLines}, nil
+	return &LRUMonitor{
+		h:   hash.NewH3(seed^0x5EED, 64),
+		sub: sub, fine: fine, coarse: coarse, llc: llcLines,
+	}, nil
 }
 
-// Observe feeds one access to all monitors.
+// Observe feeds one access to all three arrays, hashing the address once
+// with the bank's shared sampling hash and fanning the value out (the
+// arrays' thresholds differ, their hash no longer does). The arrays'
+// sampled sets nest — coarse ⊆ fine ⊆ sub — which Theorem 4 permits; the
+// saving is two of the three per-access H3 hashes the monitor bank used
+// to burn on the datapath.
 func (m *LRUMonitor) Observe(addr uint64) {
-	m.sub.Observe(addr)
-	m.fine.Observe(addr)
-	m.coarse.Observe(addr)
+	hv := m.h.Hash(addr)
+	m.sub.ObserveHashed(addr, hv)
+	m.fine.ObserveHashed(addr, hv)
+	m.coarse.ObserveHashed(addr, hv)
+}
+
+// ObserveBatch feeds a batch of accesses, in order. It is byte-identical
+// to calling Observe on each address (TestObserveBatchIdentical pins
+// this): batching exists so the adaptive runtime's batch path crosses
+// the monitor once per batch, not once per access.
+func (m *LRUMonitor) ObserveBatch(addrs []uint64) {
+	for _, addr := range addrs {
+		hv := m.h.Hash(addr)
+		m.sub.ObserveHashed(addr, hv)
+		m.fine.ObserveHashed(addr, hv)
+		m.coarse.ObserveHashed(addr, hv)
+	}
 }
 
 // Curve assembles the combined miss curve: sub-range points up to LLC/4,

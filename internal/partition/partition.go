@@ -1,15 +1,3 @@
-// Package partition implements the cache-partitioning schemes Talus runs
-// on (paper §II-B, §VI-B): way partitioning, set partitioning, and a
-// Vantage-style fine-grained scheme with a 10% unmanaged region, plus an
-// unpartitioned pass-through for baselines.
-//
-// A Scheme plugs into the set-associative cache array (internal/cache): it
-// maps accesses to sets, restricts which ways a fill may victimize, and
-// tracks per-partition occupancy against software-programmed targets. The
-// replacement policy then ranks the candidate ways the scheme allows.
-// Talus only requires of a scheme what Assumption 2 requires: that a
-// partition's miss rate be a function of its size — so schemes enforce
-// sizes and otherwise stay out of the way.
 package partition
 
 import (

@@ -1,20 +1,3 @@
-// Package policy implements the cache replacement policies the paper
-// evaluates: LRU, SRRIP/BRRIP/DRRIP (Jaleel et al., ISCA 2010, including
-// the thread-aware TA-DRRIP variant), DIP (Qureshi et al., ISCA 2007),
-// PDP (Duong et al., MICRO 2012), Random, and offline Belady MIN.
-//
-// A Policy is a per-cache state machine operating on global line indices
-// (set·assoc + way). The cache array calls Hit when an access hits, Victim
-// to choose an eviction candidate on a miss, and Fill after inserting the
-// new line. Victim may return -1 to bypass the fill entirely (PDP does
-// this when every candidate is protected), in which case the access counts
-// as a miss but no line is replaced.
-//
-// Policies deliberately know nothing about partitioning: the cache hands
-// them whatever candidate set the partitioning scheme allows, and their
-// per-line metadata is globally comparable (e.g., LRU timestamps), so a
-// policy ranks victims correctly within any candidate subset. This is what
-// lets one policy serve way, set, and Vantage-style partitioning unchanged.
 package policy
 
 import (

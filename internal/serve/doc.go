@@ -1,0 +1,61 @@
+// Package serve is the stdlib-only HTTP front-end over the keyed store:
+// the last layer between "reproduction of a paper" and "cache system
+// serving traffic". It exposes the store's Get/Set/Delete as a REST
+// surface, the live control-loop state (stats, miss curves,
+// allocations) as JSON, and the record hook as an endpoint, so a
+// production-shaped client can capture its own traffic and replay it
+// offline through the simulator.
+//
+// # Routes
+//
+// All routes are method-dispatched; wrong methods get 405 with Allow set,
+// unknown paths 404.
+//
+//	GET    /v1/cache/{tenant}/{key}   → stored bytes; X-Talus-Cache: hit|miss
+//	PUT    /v1/cache/{tenant}/{key}   → store body (204); X-Talus-Cache set
+//	DELETE /v1/cache/{tenant}/{key}   → remove value (204; 404 if absent)
+//	GET    /v1/stats                  → per-tenant counters + cache totals
+//	GET    /v1/curves                 → per-tenant measured + hulled curves
+//	POST   /v1/record                 → {"action":"start","path":...,"gzip":bool} | {"action":"stop"}
+//
+// Keys may contain slashes ({key...} pattern).
+//
+// # The X-Talus-Cache header
+//
+// Every GET and successful PUT on /v1/cache carries X-Talus-Cache with
+// value "hit" or "miss": the simulated cache's outcome for that key's
+// line, the signal a production deployment would translate into backend
+// cost. The header reports the model, not value presence — a GET of a
+// key that was never stored still answers 404 *with* the header (its
+// miss traffic shapes the tenant's miss curve, exactly as fill traffic
+// shapes a real LLC's), and a warm line can report "hit" on a 404. A
+// rejected PUT (413 and other errors) has no header because no cache
+// access happened.
+//
+// # Errors
+//
+// Error responses are JSON, shaped {"error": "<message>"}, with the
+// store's typed errors mapped onto status codes:
+//
+//	404  store.ErrNotFound, store.ErrUnknownTenant
+//	413  store.ErrValueTooLarge; request bodies over the PUT limit
+//	507  store.ErrTenantCapacity (every partition already has a tenant)
+//	400  store.ErrEmptyTenant/ErrEmptyKey, malformed /v1/record requests,
+//	     store.ErrRecording/ErrNotRecording (start while active / stop while idle)
+//
+// # The POST /v1/record contract
+//
+// /v1/record writes files server-side, so it is an explicit operator
+// decision: unless the handler is configured with a record directory
+// (Config.RecordDir; talus-serve -record-dir), the endpoint refuses
+// every request with status 403 and the exact body
+//
+//	{"error": "recording disabled: the server was started without a record directory"}
+//
+// With a record directory set, "start" requests must name a bare file
+// inside it: path separators, "..", dot-prefixed names, and empty names
+// are rejected with 400. Successful starts answer
+// {"recording":true,"path":...}; successful stops answer
+// {"recording":false,"records":N} with the number of accesses captured.
+// TestRecordEndpoint and TestHTTPContract pin these bodies.
+package serve

@@ -1,27 +1,3 @@
-// Package serve is the stdlib-only HTTP front-end over the keyed store:
-// the last layer between "reproduction of a paper" and "cache system
-// serving traffic". It exposes the store's Get/Set/Delete as a REST
-// surface, the live control-loop state (stats, miss curves,
-// allocations) as JSON, and the record hook as an endpoint, so a
-// production-shaped client can capture its own traffic and replay it
-// offline through the simulator.
-//
-// Routes (method-dispatched; wrong methods get 405 with Allow set):
-//
-//	GET    /v1/cache/{tenant}/{key}   → stored bytes; X-Talus-Cache: hit|miss
-//	PUT    /v1/cache/{tenant}/{key}   → store body (204); X-Talus-Cache set
-//	DELETE /v1/cache/{tenant}/{key}   → remove value (204; 404 if absent)
-//	GET    /v1/stats                  → per-tenant counters + cache totals
-//	GET    /v1/curves                 → per-tenant measured + hulled curves
-//	POST   /v1/record                 → {"action":"start","path":...,"gzip":bool} | {"action":"stop"}
-//
-// Keys may contain slashes ({key...} pattern). Errors are JSON
-// {"error": "..."} with the store's typed errors mapped onto status
-// codes: ErrNotFound/ErrUnknownTenant → 404, ErrValueTooLarge and
-// oversized request bodies → 413, ErrTenantCapacity → 507, other
-// boundary errors → 400. /v1/record writes server-side files, so it is
-// disabled (403) unless the handler is configured with a record
-// directory, and clients may only name bare files inside it.
 package serve
 
 import (

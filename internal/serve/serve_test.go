@@ -279,6 +279,69 @@ func TestRecordEndpoint(t *testing.T) {
 	}
 }
 
+// TestHTTPContract pins the surface the package documentation promises
+// (doc.go): the X-Talus-Cache header on cache routes, the JSON error
+// body shape, and the exact /v1/record 403 body. If this test needs
+// changing, doc.go needs changing in the same commit.
+func TestHTTPContract(t *testing.T) {
+	srv, _ := newServerConfig(t, store.Config{Tenants: []string{"a"}},
+		serve.Config{MaxValueBytes: 32})
+	url := srv.URL + "/v1/cache/a/contract"
+
+	// Successful PUT: 204 with X-Talus-Cache set (cold line: miss).
+	resp, _ := do(t, http.MethodPut, url, []byte("v"))
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Talus-Cache"); h != "hit" && h != "miss" {
+		t.Fatalf("PUT X-Talus-Cache = %q, want hit|miss", h)
+	}
+
+	// GET of a never-stored key: 404, but the header is still present
+	// (the access happened and shaped the miss curve) and the body is
+	// the documented JSON error shape naming the typed error.
+	resp, body := do(t, http.MethodGet, srv.URL+"/v1/cache/a/absent", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET absent = %d", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Talus-Cache"); h != "hit" && h != "miss" {
+		t.Fatalf("404 GET X-Talus-Cache = %q, want hit|miss", h)
+	}
+	var e404 struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e404); err != nil || !strings.Contains(e404.Error, "key not found") {
+		t.Fatalf("404 body = %s (err %v), want {\"error\": ...key not found...}", body, err)
+	}
+
+	// Oversized PUT: 413, documented error shape, and no cache header —
+	// the request was rejected before any access happened.
+	resp, body = do(t, http.MethodPut, url, bytes.Repeat([]byte("x"), 33))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT = %d", resp.StatusCode)
+	}
+	if h := resp.Header.Get("X-Talus-Cache"); h != "" {
+		t.Fatalf("413 PUT X-Talus-Cache = %q, want unset", h)
+	}
+	var e413 struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e413); err != nil || !strings.Contains(e413.Error, "value too large") {
+		t.Fatalf("413 body = %s (err %v)", body, err)
+	}
+
+	// Record endpoint without a record dir: 403 with the exact body the
+	// package doc quotes.
+	resp, body = do(t, http.MethodPost, srv.URL+"/v1/record", []byte(`{"action":"start","path":"x.trc"}`))
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("record without dir = %d", resp.StatusCode)
+	}
+	const want403 = `{"error":"recording disabled: the server was started without a record directory"}`
+	if got := strings.TrimSpace(string(body)); got != want403 {
+		t.Fatalf("403 body = %s, want exactly %s", got, want403)
+	}
+}
+
 // TestRecordDisabledByDefault: without an explicit record dir the
 // endpoint must refuse outright — it writes server-side files, so
 // enabling it is an operator decision, not a client one.

@@ -1,0 +1,20 @@
+// Package sim is the simulation harness: it wires workloads, caches,
+// monitors, Talus, and allocation algorithms into the paper's two
+// experimental setups — single-program LLC-size sweeps (Figs. 1, 8, 9,
+// 10, 11) and multi-programmed 8-core runs with epoch-based
+// reconfiguration (Figs. 12, 13).
+//
+// # Core model
+//
+// The paper simulates OOO Silvermont-like cores in zsim (Table I). This
+// reproduction substitutes an analytic core model (see DESIGN.md §2):
+//
+//	CPI = CPIBase + MPKI/1000 · MemLatency / MLP
+//
+// where CPIBase is the app's cycles-per-instruction with a perfect LLC,
+// MemLatency is the paper's 200-cycle memory latency, and MLP is the
+// app's average overlap of outstanding misses. Talus's claims are about
+// miss curves and allocations; IPC enters only to weight accesses and
+// report speedups, and this model preserves the orderings the paper
+// reports.
+package sim

@@ -1,0 +1,284 @@
+// Per-tenant request batching: the serving hot path's lock-amortization
+// layer. Unbatched, every Get/Set pays the tenant's monitor-lane mutex,
+// the monitor bank, and a shard lock once per request; the trace feeders
+// long amortized all three via AccessBatch, and this file gives the
+// request path the same economics.
+//
+// The mechanism is group commit (flat combining): each tenant owns a
+// lane. A request that finds the lane idle becomes the combiner and
+// flushes immediately — a batch of one, so sequential traffic pays no
+// added latency. Requests that arrive while a flush is in flight park in
+// the lane's FIFO queue; when the combiner finishes it hands the lane to
+// the oldest parked request, which flushes everything queued behind it
+// (itself included) as one AccessBatch of up to BatchSize accesses. Batch
+// size therefore adapts to the instantaneous concurrency: batches of one
+// when idle, full batches under load, never a timer-induced stall on the
+// way in.
+//
+// The flush deadline is the tail-latency backstop: a parked request that
+// has waited longer than BatchDeadline (an epoch reconfiguration can
+// stall a flush for milliseconds) withdraws its slot from the queue and
+// performs its access directly. The fallback takes the same datapath, so
+// the access is still monitored, recorded, and counted exactly once.
+//
+// Exactness: queued ops flush in arrival order per tenant (an op that
+// takes the deadline fallback leaves the queue and may overtake ops
+// still parked — indistinguishable from it having raced them as a
+// concurrent request), every access is recorded and counted exactly
+// once, and a batch of k accesses is byte-identical to k sequential
+// accesses at the same seed (adaptive.AccessBatch's contract), so
+// batching changes scheduling, never results.
+// TestBatchedMatchesUnbatched pins this.
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Batcher defaults, chosen to sit well inside one epoch: at the default
+// 2^20-access epoch, a 64-op batch still gives the control loop >16k
+// clock advances per epoch, and 100µs is far above a normal flush (~µs)
+// while far below a request timeout.
+const (
+	// DefaultBatchSize is the maximum number of in-flight accesses
+	// coalesced into one AccessBatch flush.
+	DefaultBatchSize = 64
+	// DefaultBatchDeadline bounds how long a parked request waits on the
+	// batcher before falling back to a direct access.
+	DefaultBatchDeadline = 100 * time.Microsecond
+)
+
+// opMsg is the single message a parked op receives.
+type opMsg uint8
+
+const (
+	opDone opMsg = iota // flushed: op.hit is valid
+	opLead              // promoted: the receiver is now the lane's combiner
+)
+
+// batchOp is one request's slot in a tenant lane. Ops are pooled; the
+// message channel is buffered so the combiner never blocks delivering,
+// and each parking cycle sends exactly one message (opDone xor opLead).
+type batchOp struct {
+	addr  uint64
+	hit   bool
+	msg   chan opMsg
+	timer *time.Timer // lazily armed deadline, reused across parkings
+}
+
+var opPool = sync.Pool{New: func() any {
+	return &batchOp{msg: make(chan opMsg, 1)}
+}}
+
+// lane is one tenant's combiner state. The invariant tying it together:
+// pending is non-empty only while active, and exactly one goroutine (the
+// combiner) runs flushes at a time, so the scratch buffers below need no
+// lock of their own — ownership passes with the opLead message.
+type lane struct {
+	mu      sync.Mutex
+	active  bool
+	pending []*batchOp
+
+	// Combiner-only scratch, reused across flushes.
+	chunk []*batchOp
+	addrs []uint64
+	hits  []bool
+}
+
+// access drives one request through the batcher (or, with batching
+// disabled, straight through the datapath) and reports the simulated
+// cache outcome.
+func (s *Store) access(t *tenant, addr uint64) bool {
+	if s.batchSize <= 1 {
+		return s.accessDirect(t, addr)
+	}
+	l := &t.lane
+	l.mu.Lock()
+	if l.active {
+		o := opPool.Get().(*batchOp)
+		o.addr = addr
+		l.pending = append(l.pending, o)
+		l.mu.Unlock()
+		return s.waitParked(t, l, o)
+	}
+	l.active = true
+	l.mu.Unlock()
+	// Solo fast path: the lane was idle, so pending was empty and this
+	// request is a batch of one — the direct datapath, no op allocation,
+	// no added latency. Requests arriving before finishCombine park and
+	// form the next (real) batch.
+	hit := s.accessDirect(t, addr)
+	s.finishCombine(t, l)
+	return hit
+}
+
+// combine flushes one chunk — the promoted op plus up to BatchSize-1
+// parked ops in arrival order — then releases the lane or hands it to
+// the oldest remaining parked op. Called with l.mu held, l.active true,
+// and own just popped from the head of pending (own is the lane's
+// oldest un-flushed op). Returns own's hit outcome.
+func (s *Store) combine(t *tenant, l *lane, own *batchOp) bool {
+	if len(l.pending) == 0 {
+		// Sole survivor: flush directly, as the solo fast path does.
+		l.mu.Unlock()
+		addr := own.addr
+		opPool.Put(own)
+		hit := s.accessDirect(t, addr)
+		s.finishCombine(t, l)
+		return hit
+	}
+	n := min(len(l.pending), s.batchSize-1)
+	l.chunk = append(l.chunk[:0], own)
+	l.chunk = append(l.chunk, l.pending[:n]...)
+	rest := copy(l.pending, l.pending[n:])
+	for i := rest; i < len(l.pending); i++ {
+		l.pending[i] = nil
+	}
+	l.pending = l.pending[:rest]
+	l.mu.Unlock()
+
+	l.addrs = l.addrs[:0]
+	for _, o := range l.chunk {
+		l.addrs = append(l.addrs, o.addr)
+	}
+	if cap(l.hits) < len(l.chunk) {
+		l.hits = make([]bool, s.batchSize)
+	}
+	hits := l.hits[:len(l.chunk)]
+	s.flush(t, l.addrs, hits)
+	for i, o := range l.chunk[1:] {
+		o.hit = hits[i+1]
+		o.msg <- opDone
+	}
+	myHit := hits[0]
+	opPool.Put(own)
+	s.finishCombine(t, l)
+	return myHit
+}
+
+// finishCombine ends a combining stint: it releases the lane if nothing
+// is parked, or pops the oldest parked op and promotes it to combiner —
+// no request ever serves the lane for more than one flush.
+func (s *Store) finishCombine(t *tenant, l *lane) {
+	l.mu.Lock()
+	if len(l.pending) == 0 {
+		l.active = false
+		l.mu.Unlock()
+		return
+	}
+	next := l.pending[0]
+	copy(l.pending, l.pending[1:])
+	l.pending[len(l.pending)-1] = nil
+	l.pending = l.pending[:len(l.pending)-1]
+	next.msg <- opLead
+	l.mu.Unlock()
+}
+
+// waitParked blocks until the parked op is flushed by a combiner, the op
+// is promoted to combiner itself, or the flush deadline passes — in
+// which case the op withdraws from the queue and accesses directly.
+func (s *Store) waitParked(t *tenant, l *lane, o *batchOp) bool {
+	if s.batchDeadline <= 0 { // no deadline: wait for the combiner
+		return s.onMsg(t, l, o, <-o.msg)
+	}
+	if o.timer == nil {
+		o.timer = time.NewTimer(s.batchDeadline)
+	} else {
+		o.timer.Reset(s.batchDeadline)
+	}
+	select {
+	case m := <-o.msg:
+		if !o.timer.Stop() {
+			<-o.timer.C
+		}
+		return s.onMsg(t, l, o, m)
+	case <-o.timer.C:
+		l.mu.Lock()
+		if removeOp(l, o) {
+			// Still queued: withdraw and take the direct path. No one
+			// holds a reference anymore, so the op can be reused.
+			l.mu.Unlock()
+			addr := o.addr
+			opPool.Put(o)
+			return s.accessDirect(t, addr)
+		}
+		// A combiner claimed the op between the timeout and the lock;
+		// its message is already on the way.
+		l.mu.Unlock()
+		return s.onMsg(t, l, o, <-o.msg)
+	}
+}
+
+// onMsg resolves a parked op's message: return the flushed outcome, or
+// take over as the lane's combiner.
+func (s *Store) onMsg(t *tenant, l *lane, o *batchOp, m opMsg) bool {
+	if m == opLead {
+		l.mu.Lock()
+		return s.combine(t, l, o)
+	}
+	hit := o.hit
+	opPool.Put(o)
+	return hit
+}
+
+// removeOp withdraws o from the lane's queue, preserving order.
+// Caller holds l.mu.
+func removeOp(l *lane, o *batchOp) bool {
+	for i, p := range l.pending {
+		if p == o {
+			copy(l.pending[i:], l.pending[i+1:])
+			l.pending[len(l.pending)-1] = nil
+			l.pending = l.pending[:len(l.pending)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// flush drives one coalesced chunk through the record hook and the
+// adaptive datapath and updates the tenant's counters: the batched twin
+// of accessDirect. addrs holds raw 48-bit key addresses (the record
+// hook's format); they are offset into the tenant's partition space in
+// place before hitting the cache.
+func (s *Store) flush(t *tenant, addrs []uint64, hits []bool) {
+	if s.recording.Load() {
+		s.recMu.Lock()
+		if s.rec != nil {
+			for _, a := range addrs {
+				if err := s.rec.Append(t.part, a); err != nil && s.recErr == nil {
+					s.recErr = err
+				}
+			}
+		}
+		s.recMu.Unlock()
+	}
+	for i := range addrs {
+		addrs[i] |= t.space
+	}
+	n := s.ac.AccessBatch(addrs, t.part, hits)
+	t.hits.Add(int64(n))
+	t.misses.Add(int64(len(addrs) - n))
+}
+
+// accessDirect is the unbatched datapath: one record append, one
+// monitor-lane crossing, one cache access. The batcher's deadline
+// fallback and BatchSize=1 configurations land here.
+func (s *Store) accessDirect(t *tenant, addr uint64) bool {
+	if s.recording.Load() {
+		s.recMu.Lock()
+		if s.rec != nil {
+			if err := s.rec.Append(t.part, addr); err != nil && s.recErr == nil {
+				s.recErr = err
+			}
+		}
+		s.recMu.Unlock()
+	}
+	hit := s.ac.Access(addr|t.space, t.part)
+	if hit {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+	return hit
+}

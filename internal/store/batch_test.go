@@ -1,0 +1,179 @@
+package store_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"talus/internal/store"
+)
+
+// countingRecorder counts appends and remembers the order of addresses.
+type countingRecorder struct {
+	mu    sync.Mutex
+	addrs []uint64
+	parts []int
+}
+
+func (r *countingRecorder) Append(p int, addr uint64) error {
+	r.mu.Lock()
+	r.addrs = append(r.addrs, addr)
+	r.parts = append(r.parts, p)
+	r.mu.Unlock()
+	return nil
+}
+
+// TestBatchedMatchesUnbatched pins the batcher's exactness contract at
+// the store boundary: a sequential request stream through a batching
+// store (each request flushes as a batch through the lane machinery)
+// returns byte-identical hits, values, stats, recordings, allocations,
+// and epochs to the same stream through a batching-disabled store at the
+// same seed.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	direct := buildStore(t, 8192, 4, 2, store.Config{BatchSize: 1})
+	batched := buildStore(t, 8192, 4, 2, store.Config{})
+	recD, recB := &countingRecorder{}, &countingRecorder{}
+	if err := direct.SetRecorder(recD); err != nil {
+		t.Fatal(err)
+	}
+	if err := batched.SetRecorder(recB); err != nil {
+		t.Fatal(err)
+	}
+
+	const ops = 1 << 16
+	for i := 0; i < ops; i++ {
+		tn := "a"
+		if i%3 == 0 {
+			tn = "b"
+		}
+		key := fmt.Sprintf("k%d", i%1500)
+		if i%5 == 0 {
+			hd, errD := direct.Set(tn, key, []byte(key))
+			hb, errB := batched.Set(tn, key, []byte(key))
+			if hd != hb || (errD == nil) != (errB == nil) {
+				t.Fatalf("op %d: Set diverges: (%v,%v) vs (%v,%v)", i, hd, errD, hb, errB)
+			}
+			continue
+		}
+		vd, hd, errD := direct.Get(tn, key)
+		vb, hb, errB := batched.Get(tn, key)
+		if hd != hb || string(vd) != string(vb) || (errD == nil) != (errB == nil) {
+			t.Fatalf("op %d: Get diverges: (%q,%v,%v) vs (%q,%v,%v)", i, vd, hd, errD, vb, hb, errB)
+		}
+	}
+
+	for _, tn := range []string{"a", "b"} {
+		sd, errD := direct.Stats(tn)
+		sb, errB := batched.Stats(tn)
+		if errD != nil || errB != nil {
+			t.Fatal(errD, errB)
+		}
+		if sd != sb {
+			t.Fatalf("tenant %s stats diverge:\n direct  %+v\n batched %+v", tn, sd, sb)
+		}
+	}
+	if de, be := direct.Cache().Epochs(), batched.Cache().Epochs(); de != be || de == 0 {
+		t.Fatalf("epochs diverge: direct %d, batched %d", de, be)
+	}
+	da, ba := direct.Cache().Allocations(), batched.Cache().Allocations()
+	for p := range da {
+		if da[p] != ba[p] {
+			t.Fatalf("allocation %d diverges: direct %d, batched %d", p, da[p], ba[p])
+		}
+	}
+	if len(recD.addrs) != len(recB.addrs) {
+		t.Fatalf("recorded counts diverge: direct %d, batched %d", len(recD.addrs), len(recB.addrs))
+	}
+	for i := range recD.addrs {
+		if recD.addrs[i] != recB.addrs[i] || recD.parts[i] != recB.parts[i] {
+			t.Fatalf("record %d diverges: direct (%d,%#x), batched (%d,%#x)",
+				i, recD.parts[i], recD.addrs[i], recB.parts[i], recB.addrs[i])
+		}
+	}
+}
+
+// TestBatchConcurrentExactness hammers one tenant's lane from many
+// goroutines — real multi-op batches form — and checks that nothing is
+// lost or double-counted: request counters, simulated outcomes, and the
+// record hook all account for every access exactly once.
+func TestBatchConcurrentExactness(t *testing.T) {
+	s := buildStore(t, 8192, 4, 2, store.Config{BatchSize: 8})
+	rec := &countingRecorder{}
+	if err := s.SetRecorder(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	workers := 2 * runtime.GOMAXPROCS(0)
+	const perWorker = 4096
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("k%d", (w*perWorker+i)%512)
+				if i%4 == 0 {
+					if _, err := s.Set("hot", key, []byte("v")); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if _, _, err := s.Get("hot", key); err != nil && !errors.Is(err, store.ErrNotFound) {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(workers * perWorker)
+	st, err := s.Stats("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gets+st.Sets != total {
+		t.Fatalf("request counters: gets %d + sets %d != %d", st.Gets, st.Sets, total)
+	}
+	if st.CacheHits+st.CacheMisses != total {
+		t.Fatalf("outcome counters: hits %d + misses %d != %d", st.CacheHits, st.CacheMisses, total)
+	}
+	if got := int64(len(rec.addrs)); got != total {
+		t.Fatalf("recorded %d accesses, want %d", got, total)
+	}
+}
+
+// TestBatchDeadlineFallback drives the deadline path: with a zero-ish
+// deadline every parked request gives up almost immediately and falls
+// back to the direct datapath, which must still count and serve exactly.
+func TestBatchDeadlineFallback(t *testing.T) {
+	s := buildStore(t, 8192, 2, 2, store.Config{BatchSize: 64, BatchDeadline: time.Nanosecond})
+	workers := 2 * runtime.GOMAXPROCS(0)
+	const perWorker = 2048
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("k%d", i%128)
+				if i%4 == 0 {
+					s.Set("hot", key, []byte("v"))
+				} else {
+					s.Get("hot", key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st, err := s.Stats("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(workers * perWorker)
+	if st.Gets+st.Sets != total || st.CacheHits+st.CacheMisses != total {
+		t.Fatalf("deadline fallback lost accesses: %+v, want %d total", st, total)
+	}
+}

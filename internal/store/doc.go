@@ -1,0 +1,69 @@
+// Package store is the keyed serving layer over the adaptive Talus
+// runtime: it maps (tenant, key) requests onto the line-address
+// datapath the rest of the system speaks, and stores real bytes while
+// doing so. This is the API pivot from "simulator" to "cache system" —
+// callers Get/Set/Delete string keys; underneath, each tenant owns one
+// logical partition of an adaptive.Cache, each key hashes to a line
+// address, and every request drives the monitor → hull → Talus →
+// allocator loop exactly like simulated traffic does.
+//
+// # Key → address, tenant → partition
+//
+// A key's line address is the FNV-1a 64-bit hash of its bytes, masked
+// to 48 bits — the feeders' per-partition offset (sim.AppSpace, bits
+// 48–55) and the trace flattener's tags (bits 56–63) stay clear, so a
+// stream recorded from the store replays through sim.FeedAdaptiveTrace
+// and friends unchanged. Distinct keys may collide on a line (two keys
+// in ~2^48 lines); a collision only nudges the simulated hit ratio,
+// never the stored values, which live in an exact per-tenant map.
+//
+// Tenants bind to logical partitions in arrival order: the first
+// Get/Set naming a new tenant claims the next free partition
+// (Config.Static disables this and admits only pre-declared tenants).
+// The partition count is fixed at cache construction, so once every
+// partition is claimed further new tenants are refused with
+// ErrTenantCapacity.
+//
+// # Hit/miss semantics
+//
+// The simulated cache decides hit or miss; the value map decides found
+// or not found. A Get whose key was never Set still accesses the cache
+// (miss traffic shapes the miss curve, as in a real LLC) and returns
+// ErrNotFound. A Get whose key exists returns the bytes either way and
+// reports whether the line hit — the "miss" is the simulated cost
+// (e.g. a backend fetch) a production deployment would pay. Values are
+// never evicted: the store is the system of record, and the adaptive
+// cache in front of it is the performance model being served.
+//
+// # Request batching
+//
+// Every Get/Set drives one simulated cache access, and unbatched each
+// access crosses the tenant's monitor-lane mutex, the monitor bank, and
+// a shard lock on its own. The store instead coalesces in-flight
+// requests per tenant with a group-commit combiner (see batch.go): a
+// request on an idle tenant flushes immediately (a batch of one, no
+// added latency), requests arriving while a flush is in flight queue up
+// and flush together as one adaptive.AccessBatch of up to
+// Config.BatchSize accesses, and a request parked longer than
+// Config.BatchDeadline falls back to a direct access. Batch size adapts
+// to the instantaneous concurrency, so sequential traffic pays nothing
+// and loaded tenants amortize every lock and the monitor's sampling
+// pass across the batch. Batching changes scheduling, never results:
+// queued requests flush in per-tenant arrival order (a deadline
+// fallback may overtake still-parked requests, as any concurrent
+// request always could), stats and the record hook count every access
+// exactly once, and a batch of k accesses is byte-identical to k
+// sequential ones at the same seed.
+//
+// # Recording
+//
+// An optional record hook captures every cache access (partition, raw
+// 48-bit address) through a Recorder — trace.Writer satisfies it — so
+// live front-end traffic becomes a replayable trace
+// (sim.RunAdaptiveTraceFile). Recording serializes appends on a mutex;
+// under concurrent traffic the recorded order is one valid
+// interleaving of the live one.
+//
+// All methods are safe for concurrent use when the underlying adaptive
+// cache is (build it over a sharded inner cache).
+package store

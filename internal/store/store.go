@@ -1,51 +1,3 @@
-// Package store is the keyed serving layer over the adaptive Talus
-// runtime: it maps (tenant, key) requests onto the line-address
-// datapath the rest of the system speaks, and stores real bytes while
-// doing so. This is the API pivot from "simulator" to "cache system" —
-// callers Get/Set/Delete string keys; underneath, each tenant owns one
-// logical partition of an adaptive.Cache, each key hashes to a line
-// address, and every request drives the monitor → hull → Talus →
-// allocator loop exactly like simulated traffic does.
-//
-// # Key → address, tenant → partition
-//
-// A key's line address is the FNV-1a 64-bit hash of its bytes, masked
-// to 48 bits — the feeders' per-partition offset (sim.AppSpace, bits
-// 48–55) and the trace flattener's tags (bits 56–63) stay clear, so a
-// stream recorded from the store replays through sim.FeedAdaptiveTrace
-// and friends unchanged. Distinct keys may collide on a line (two keys
-// in ~2^48 lines); a collision only nudges the simulated hit ratio,
-// never the stored values, which live in an exact per-tenant map.
-//
-// Tenants bind to logical partitions in arrival order: the first
-// Get/Set naming a new tenant claims the next free partition
-// (Config.Static disables this and admits only pre-declared tenants).
-// The partition count is fixed at cache construction, so once every
-// partition is claimed further new tenants are refused with
-// ErrTenantCapacity.
-//
-// # Hit/miss semantics
-//
-// The simulated cache decides hit or miss; the value map decides found
-// or not found. A Get whose key was never Set still accesses the cache
-// (miss traffic shapes the miss curve, as in a real LLC) and returns
-// ErrNotFound. A Get whose key exists returns the bytes either way and
-// reports whether the line hit — the "miss" is the simulated cost
-// (e.g. a backend fetch) a production deployment would pay. Values are
-// never evicted: the store is the system of record, and the adaptive
-// cache in front of it is the performance model being served.
-//
-// # Recording
-//
-// An optional record hook captures every cache access (partition, raw
-// 48-bit address) through a Recorder — trace.Writer satisfies it — so
-// live front-end traffic becomes a replayable trace
-// (sim.RunAdaptiveTraceFile). Recording serializes appends on a mutex;
-// under concurrent traffic the recorded order is one valid
-// interleaving of the live one.
-//
-// All methods are safe for concurrent use when the underlying adaptive
-// cache is (build it over a sharded inner cache).
 package store
 
 import (
@@ -55,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"talus/internal/adaptive"
 	"talus/internal/cache"
@@ -106,6 +59,15 @@ type Config struct {
 	Static bool
 	// MaxValueBytes caps Set value sizes; 0 means unlimited.
 	MaxValueBytes int64
+	// BatchSize caps how many in-flight accesses the per-tenant request
+	// batcher coalesces into one AccessBatch flush. 0 selects
+	// DefaultBatchSize; 1 disables batching, so every request drives the
+	// datapath directly (the pre-batching behaviour).
+	BatchSize int
+	// BatchDeadline bounds how long a request may wait on the batcher
+	// before falling back to a direct access. 0 selects
+	// DefaultBatchDeadline; negative waits without bound.
+	BatchDeadline time.Duration
 }
 
 // TenantStats reports one tenant's serving counters. CacheHits and
@@ -132,6 +94,8 @@ type tenant struct {
 	part  int
 	space uint64 // sim.AppSpace(part), OR-ed onto every address
 
+	lane lane // request batcher (see batch.go)
+
 	mu    sync.RWMutex
 	vals  map[string][]byte
 	bytes int64
@@ -145,6 +109,9 @@ type tenant struct {
 type Store struct {
 	ac  *adaptive.Cache
 	cfg Config
+
+	batchSize     int           // max ops per coalesced flush; <=1 disables
+	batchDeadline time.Duration // parked-request wait bound; <=0 unbounded
 
 	mu      sync.RWMutex
 	tenants map[string]*tenant
@@ -166,10 +133,18 @@ func New(ac *adaptive.Cache, cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("%w: %d tenants for %d partitions", ErrTenantCapacity, len(cfg.Tenants), ac.NumLogical())
 	}
 	s := &Store{
-		ac:      ac,
-		cfg:     cfg,
-		tenants: make(map[string]*tenant, ac.NumLogical()),
-		byPart:  make([]*tenant, ac.NumLogical()),
+		ac:            ac,
+		cfg:           cfg,
+		batchSize:     cfg.BatchSize,
+		batchDeadline: cfg.BatchDeadline,
+		tenants:       make(map[string]*tenant, ac.NumLogical()),
+		byPart:        make([]*tenant, ac.NumLogical()),
+	}
+	if s.batchSize == 0 {
+		s.batchSize = DefaultBatchSize
+	}
+	if s.batchDeadline == 0 {
+		s.batchDeadline = DefaultBatchDeadline
 	}
 	for _, name := range cfg.Tenants {
 		if _, err := s.register(name); err != nil {
@@ -234,27 +209,6 @@ func (s *Store) resolve(name string, autoRegister bool) (*tenant, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
 	}
 	return s.register(name)
-}
-
-// access drives one request through the record hook and the adaptive
-// datapath, and updates the tenant's hit counters.
-func (s *Store) access(t *tenant, addr uint64) bool {
-	if s.recording.Load() {
-		s.recMu.Lock()
-		if s.rec != nil {
-			if err := s.rec.Append(t.part, addr); err != nil && s.recErr == nil {
-				s.recErr = err
-			}
-		}
-		s.recMu.Unlock()
-	}
-	hit := s.ac.Access(addr|t.space, t.part)
-	if hit {
-		t.hits.Add(1)
-	} else {
-		t.misses.Add(1)
-	}
-	return hit
 }
 
 // Get looks key up for tenant. It always performs one cache access

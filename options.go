@@ -42,6 +42,8 @@ type options struct {
 	tenants       []string
 	staticTenants bool
 	maxValueBytes int64
+	batchSize     int
+	batchDeadline time.Duration
 }
 
 // Option configures New and NewStore.
@@ -127,6 +129,24 @@ func WithStaticTenants(names ...string) Option {
 // own body limit).
 func WithMaxValueBytes(n int64) Option { return func(o *options) { o.maxValueBytes = n } }
 
+// WithBatchSize caps how many in-flight requests the store's per-tenant
+// batcher coalesces into one cache access batch (NewStore only). The
+// batcher is group commit: a request on an idle tenant flushes
+// immediately, requests arriving during a flush form the next batch, so
+// batch size adapts to load up to this bound. 0 selects the default
+// (DefaultBatchSize, 64); 1 disables batching entirely, restoring
+// the per-request datapath.
+func WithBatchSize(n int) Option { return func(o *options) { o.batchSize = n } }
+
+// WithBatchDeadline bounds how long a request may wait on the store's
+// per-tenant batcher before it falls back to a direct, unbatched cache
+// access (NewStore only) — the tail-latency backstop for flushes stalled
+// behind an epoch reconfiguration. 0 selects the default
+// (DefaultBatchDeadline, 100µs); negative waits without bound.
+func WithBatchDeadline(d time.Duration) Option {
+	return func(o *options) { o.batchDeadline = d }
+}
+
 // build applies opts over the defaults and validates the result.
 func build(opts []Option) (*options, error) {
 	o := &options{
@@ -196,6 +216,16 @@ type Store = store.Store
 // TenantStats reports one tenant's serving counters.
 type TenantStats = store.TenantStats
 
+// Store request-batcher defaults (see WithBatchSize, WithBatchDeadline).
+const (
+	// DefaultBatchSize is the maximum number of in-flight requests the
+	// store's per-tenant batcher coalesces into one cache access batch.
+	DefaultBatchSize = store.DefaultBatchSize
+	// DefaultBatchDeadline bounds how long a request waits on the
+	// batcher before falling back to a direct access.
+	DefaultBatchDeadline = store.DefaultBatchDeadline
+)
+
 // Store boundary errors (see the internal/store package docs).
 var (
 	ErrEmptyTenant    = store.ErrEmptyTenant
@@ -226,6 +256,8 @@ func NewStore(opts ...Option) (*Store, error) {
 		Tenants:       o.tenants,
 		Static:        o.staticTenants,
 		MaxValueBytes: o.maxValueBytes,
+		BatchSize:     o.batchSize,
+		BatchDeadline: o.batchDeadline,
 	})
 }
 

@@ -2,9 +2,11 @@ package talus
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 // feedDeterministic drives an identical two-phase stream into ac:
@@ -234,5 +236,39 @@ func TestNewStoreOptions(t *testing.T) {
 	}
 	if _, err := st.Set("d", "k", nil); !errors.Is(err, ErrUnknownTenant) {
 		t.Fatalf("static tenants: %v", err)
+	}
+}
+
+// TestNewStoreBatchOptions pins the batching knobs at the public
+// boundary: a batching store (default WithBatchSize, explicit
+// WithBatchDeadline) serves a sequential stream identically to a
+// WithBatchSize(1) (batching-disabled) store at the same seed.
+func TestNewStoreBatchOptions(t *testing.T) {
+	build := func(extra ...Option) *Store {
+		t.Helper()
+		opts := append([]Option{
+			WithCapacity(16384), WithShards(2), WithTenants("t"), WithSeed(11),
+		}, extra...)
+		st, err := NewStore(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+	batched := build(WithBatchSize(16), WithBatchDeadline(time.Millisecond))
+	direct := build(WithBatchSize(1))
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("k%d", i%300)
+		hb, errB := batched.Set("t", key, []byte("v"))
+		hd, errD := direct.Set("t", key, []byte("v"))
+		if hb != hd || (errB == nil) != (errD == nil) {
+			t.Fatalf("op %d: batched (%v,%v) vs direct (%v,%v)", i, hb, errB, hd, errD)
+		}
+	}
+	sb, _ := batched.Stats("t")
+	sd, _ := direct.Stats("t")
+	if sb != sd {
+		t.Fatalf("stats diverge:\n batched %+v\n direct  %+v", sb, sd)
 	}
 }

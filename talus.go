@@ -31,12 +31,16 @@
 //     wall-clock epoch interval, Close it when done;
 //   - the keyed serving layer (NewStore): Get/Set/Delete over
 //     (tenant, key) pairs with real value storage, per-tenant Stats,
-//     live measured/hulled miss Curves, and a record hook capturing
-//     front-end traffic as replayable traces — plus the stdlib HTTP
-//     front-end (NewServeHandler, cmd/talus-serve) over it.
+//     live measured/hulled miss Curves, a record hook capturing
+//     front-end traffic as replayable traces, and a per-tenant
+//     group-commit request batcher (WithBatchSize, WithBatchDeadline)
+//     that coalesces in-flight requests into single cache access
+//     batches — plus the stdlib HTTP front-end (NewServeHandler,
+//     cmd/talus-serve) over it.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results; runnable examples live under examples/.
+// See README.md for quickstarts, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for paper-vs-measured results; runnable examples
+// live in example_test.go and under examples/.
 package talus
 
 import (
