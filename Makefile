@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt vet examples bench-smoke bench-serving
+.PHONY: all build test race check fmt vet examples bench-smoke bench-serving bench-serving-mp
 
 all: check test
 
@@ -38,3 +38,10 @@ bench-smoke:
 # tracked perf baseline (store Get/Put, adaptive AccessBatch, monitor).
 bench-serving:
 	$(GO) run ./cmd/talus-bench -out BENCH_serving.json
+
+# bench-serving-mp adds the contended shape: the same hot paths under
+# GOMAXPROCS>=4, appended (not overwriting) as procs>1 rows keyed by
+# (name, procs). Run after bench-serving to get both shapes in one file.
+BENCH_PROCS ?= 4
+bench-serving-mp:
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) run ./cmd/talus-bench -append -out BENCH_serving.json

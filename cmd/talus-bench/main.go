@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	talus-bench [-bench regex] [-benchtime 2s] [-count 1] [-pkg .] [-out BENCH_serving.json]
+//	talus-bench [-bench regex] [-benchtime 2s] [-count 1] [-pkg .] [-out BENCH_serving.json] [-append]
 //
 // It shells out to `go test -run ^$ -bench <regex> -benchmem` (the repo
 // must be the working directory), parses the standard benchmark output
@@ -25,6 +25,12 @@
 // adaptive datapath, and its non-monitored floor, which is exactly the
 // set DESIGN.md's hot-path section quotes. `make bench-serving` runs it
 // with the defaults.
+//
+// With -append, rows from an existing -out file are kept and merged:
+// a row is keyed by (name, procs), so a GOMAXPROCS=4 pass adds -4 rows
+// next to the single-proc baseline instead of erasing it. `make
+// bench-serving-mp` uses this to grow BENCH_serving.json with the
+// contended (procs > 1) shape of the same hot paths.
 package main
 
 import (
@@ -73,15 +79,16 @@ func main() {
 		count     = flag.Int("count", 1, "go test -count value")
 		pkg       = flag.String("pkg", ".", "package pattern to bench")
 		out       = flag.String("out", "BENCH_serving.json", "output JSON path (- for stdout)")
+		appendOut = flag.Bool("append", false, "merge into an existing -out file: rows keyed by (name, procs), new rows win")
 	)
 	flag.Parse()
-	if err := run(*bench, *benchtime, *count, *pkg, *out); err != nil {
+	if err := run(*bench, *benchtime, *count, *pkg, *out, *appendOut); err != nil {
 		fmt.Fprintf(os.Stderr, "talus-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime string, count int, pkg, out string) error {
+func run(bench, benchtime string, count int, pkg, out string, appendOut bool) error {
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", bench, "-benchmem", "-benchtime", benchtime,
 		"-count", strconv.Itoa(count), pkg)
@@ -101,6 +108,17 @@ func run(bench, benchtime string, count int, pkg, out string) error {
 		Benchtime:  benchtime,
 		Benchmarks: results,
 	}
+	if appendOut && out != "-" {
+		if prev, err := os.ReadFile(out); err == nil {
+			var old Report
+			if err := json.Unmarshal(prev, &old); err != nil {
+				return fmt.Errorf("-append: existing %s is not a talus-bench report: %w", out, err)
+			}
+			rep.Benchmarks = Merge(old.Benchmarks, results)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -113,8 +131,34 @@ func run(bench, benchtime string, count int, pkg, out string) error {
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("talus-bench: %d benchmarks → %s\n", len(results), out)
+	fmt.Printf("talus-bench: %d benchmarks → %s\n", len(rep.Benchmarks), out)
 	return nil
+}
+
+// Merge combines an existing report's rows with a fresh run's. Rows are
+// keyed by (name, procs): a re-measured row replaces the old one in
+// place, a new (name, procs) shape — e.g. the first GOMAXPROCS=4 pass —
+// appends after the rows that were already there.
+func Merge(old, fresh []Result) []Result {
+	type key struct {
+		name  string
+		procs int
+	}
+	merged := make([]Result, len(old))
+	copy(merged, old)
+	at := make(map[key]int, len(old))
+	for i, r := range merged {
+		at[key{r.Name, r.Procs}] = i
+	}
+	for _, r := range fresh {
+		if i, ok := at[key{r.Name, r.Procs}]; ok {
+			merged[i] = r
+		} else {
+			at[key{r.Name, r.Procs}] = len(merged)
+			merged = append(merged, r)
+		}
+	}
+	return merged
 }
 
 // Parse extracts benchmark results from `go test -bench` output. With

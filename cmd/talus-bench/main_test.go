@@ -40,3 +40,33 @@ func TestParseEmpty(t *testing.T) {
 		t.Fatal("want error on benchmark-free output")
 	}
 }
+
+// TestMerge pins the -append contract: (name, procs) keys rows, a
+// re-measured row replaces its predecessor in place, a new shape —
+// the first multi-proc pass — appends after the existing rows.
+func TestMerge(t *testing.T) {
+	old := []Result{
+		{Name: "StoreGet", Procs: 1, NsPerOp: 200},
+		{Name: "StoreSet", Procs: 1, NsPerOp: 300},
+	}
+	fresh := []Result{
+		{Name: "StoreGet", Procs: 4, NsPerOp: 90},
+		{Name: "StoreSet", Procs: 1, NsPerOp: 280},
+	}
+	got := Merge(old, fresh)
+	if len(got) != 3 {
+		t.Fatalf("merged %d rows, want 3: %+v", len(got), got)
+	}
+	if got[0].Name != "StoreGet" || got[0].Procs != 1 || got[0].NsPerOp != 200 {
+		t.Fatalf("untouched row changed: %+v", got[0])
+	}
+	if got[1].Name != "StoreSet" || got[1].NsPerOp != 280 {
+		t.Fatalf("re-measured row not replaced in place: %+v", got[1])
+	}
+	if got[2].Name != "StoreGet" || got[2].Procs != 4 {
+		t.Fatalf("new (name, procs) shape not appended: %+v", got[2])
+	}
+	if n := len(Merge(nil, fresh)); n != 2 {
+		t.Fatalf("merge into empty report kept %d rows, want 2", n)
+	}
+}

@@ -12,6 +12,14 @@
 //	            [-alloc hill] [-assoc 32] [-epoch n] [-epoch-interval 1s]
 //	            [-max-value 1048576] [-record-dir dir] [-seed s]
 //	            [-batch 64] [-batch-deadline 100µs]
+//	            [-max-bytes n] [-max-tenants n]
+//	            [-backend mem] [-backend-latency 0s]
+//
+// With -max-bytes and/or -backend the store is a true bounded cache:
+// values die when their simulated lines are evicted, writes pass the
+// Talus-managed admission gate, and (with a backend) misses read
+// through the backing tier. Without either, the store keeps every
+// value — the original system-of-record mode.
 //
 // Routes:
 //
@@ -61,53 +69,101 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "deterministic seed for hashes, samplers, monitors")
 		batch      = flag.Int("batch", 0, "per-tenant request batcher: max accesses per flush (0 = 64, 1 disables batching)")
 		batchWait  = flag.Duration("batch-deadline", 0, "max time a request waits on the batcher before accessing directly (0 = 100µs, negative = unbounded)")
+		maxBytes   = flag.Int64("max-bytes", 0, "bound on total value bytes held (0 = unbounded); enables eviction-coupled storage and admission")
+		maxTenants = flag.Int("max-tenants", 0, "cap on tenants ever registered (0 = partition count only)")
+		backend    = flag.String("backend", "", "backing tier behind the cache: mem (empty = none)")
+		backendLat = flag.Duration("backend-latency", 0, "modeled latency per backend operation")
 	)
 	flag.Parse()
-	if err := run(*addr, *mb, *shards, *partitions, *tenants, *static, *scheme, *policy,
-		*allocName, *assoc, *epoch, *interval, *maxValue, *recordDir, *seed, *batch, *batchWait); err != nil {
+	cfg := serveFlags{
+		addr: *addr, mb: *mb, shards: *shards, partitions: *partitions,
+		tenants: *tenants, static: *static, scheme: *scheme, policy: *policy,
+		allocName: *allocName, assoc: *assoc, epoch: *epoch, interval: *interval,
+		maxValue: *maxValue, recordDir: *recordDir, seed: *seed,
+		batch: *batch, batchWait: *batchWait,
+		maxBytes: *maxBytes, maxTenants: *maxTenants,
+		backend: *backend, backendLat: *backendLat,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "talus-serve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, mb float64, shards, partitions int, tenantList string, static bool,
-	scheme, policy, allocName string, assoc int, epoch int64, interval time.Duration,
-	maxValue int64, recordDir string, seed uint64, batch int, batchWait time.Duration) error {
-	allocator, err := talus.AllocatorByName(allocName)
+// serveFlags carries the parsed command line into run.
+type serveFlags struct {
+	addr       string
+	mb         float64
+	shards     int
+	partitions int
+	tenants    string
+	static     bool
+	scheme     string
+	policy     string
+	allocName  string
+	assoc      int
+	epoch      int64
+	interval   time.Duration
+	maxValue   int64
+	recordDir  string
+	seed       uint64
+	batch      int
+	batchWait  time.Duration
+	maxBytes   int64
+	maxTenants int
+	backend    string
+	backendLat time.Duration
+}
+
+func run(cf serveFlags) error {
+	allocator, err := talus.AllocatorByName(cf.allocName)
 	if err != nil {
 		return err
 	}
 	opts := []talus.Option{
-		talus.WithCapacityMB(mb),
-		talus.WithShards(shards),
-		talus.WithScheme(scheme),
-		talus.WithPolicy(policy),
-		talus.WithAssoc(assoc),
-		talus.WithSeed(seed),
+		talus.WithCapacityMB(cf.mb),
+		talus.WithShards(cf.shards),
+		talus.WithScheme(cf.scheme),
+		talus.WithPolicy(cf.policy),
+		talus.WithAssoc(cf.assoc),
+		talus.WithSeed(cf.seed),
 		talus.WithAllocator(allocator),
-		talus.WithEpochInterval(interval),
-		talus.WithMaxValueBytes(maxValue),
-		talus.WithBatchSize(batch),
-		talus.WithBatchDeadline(batchWait),
+		talus.WithEpochInterval(cf.interval),
+		talus.WithMaxValueBytes(cf.maxValue),
+		talus.WithBatchSize(cf.batch),
+		talus.WithBatchDeadline(cf.batchWait),
 	}
-	if partitions > 0 {
-		opts = append(opts, talus.WithPartitions(partitions))
+	if cf.maxBytes > 0 {
+		opts = append(opts, talus.WithMaxBytes(cf.maxBytes))
 	}
-	if names := splitTenants(tenantList); len(names) > 0 {
-		if static {
+	if cf.maxTenants > 0 {
+		opts = append(opts, talus.WithMaxTenants(cf.maxTenants))
+	}
+	switch cf.backend {
+	case "":
+	case "mem":
+		opts = append(opts, talus.WithBackend(talus.NewMemBackend(cf.backendLat)))
+	default:
+		return fmt.Errorf("unknown -backend %q (valid: mem)", cf.backend)
+	}
+	if cf.partitions > 0 {
+		opts = append(opts, talus.WithPartitions(cf.partitions))
+	}
+	if names := splitTenants(cf.tenants); len(names) > 0 {
+		if cf.static {
 			opts = append(opts, talus.WithStaticTenants(names...))
 		} else {
 			opts = append(opts, talus.WithTenants(names...))
 		}
-	} else if static {
+	} else if cf.static {
 		return errors.New("-static-tenants needs -tenants")
 	}
-	if epoch > 0 {
+	if cf.epoch > 0 {
 		opts = append(opts, talus.WithAdaptive(talus.AdaptiveConfig{
-			EpochAccesses: epoch,
-			EpochInterval: interval,
+			EpochAccesses: cf.epoch,
+			EpochInterval: cf.interval,
 			Allocator:     allocator,
-			Seed:          seed,
+			Seed:          cf.seed,
 		}))
 	}
 	st, err := talus.NewStore(opts...)
@@ -117,8 +173,8 @@ func run(addr string, mb float64, shards, partitions int, tenantList string, sta
 	defer st.Close()
 
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           talus.NewServeHandler(st, talus.ServeConfig{MaxValueBytes: maxValue, RecordDir: recordDir}),
+		Addr:              cf.addr,
+		Handler:           talus.NewServeHandler(st, talus.ServeConfig{MaxValueBytes: cf.maxValue, RecordDir: cf.recordDir}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -126,8 +182,12 @@ func run(addr string, mb float64, shards, partitions int, tenantList string, sta
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("talus-serve: listening on %s (%.1f MB, %d shards, %d partitions, %s/%s, alloc %s)",
-			addr, mb, shards, st.Cache().NumLogical(), scheme, policy, allocName)
+		mode := "unbounded"
+		if st.Bounded() {
+			mode = fmt.Sprintf("bounded (max-bytes %d, backend %q)", cf.maxBytes, cf.backend)
+		}
+		log.Printf("talus-serve: listening on %s (%.1f MB, %d shards, %d partitions, %s/%s, alloc %s, %s)",
+			cf.addr, cf.mb, cf.shards, st.Cache().NumLogical(), cf.scheme, cf.policy, cf.allocName, mode)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -312,6 +312,27 @@ func (a *Cache) runEpochLocked() {
 	a.epochs++
 }
 
+// SetEvictHook installs fn to be called once per line the underlying
+// cache evicts, with the line's logical partition and address, and
+// reports whether the full cache stack supports eviction notification
+// (every layer down to the arrays must). The hook fires on the
+// accessing goroutine with a shard lock held: it must be fast and must
+// not re-enter the cache. Install it before traffic flows; installing
+// or clearing concurrently with accesses is racy.
+func (a *Cache) SetEvictHook(fn func(part int, addr uint64)) bool {
+	return a.sc.SetEvictHook(fn)
+}
+
+// Invalidate drops logical partition p's line for addr, if resident,
+// and reports whether one was dropped. Not an access: no monitor
+// observation, no stats, no epoch progress, and the eviction hook does
+// not fire. Returns false when the underlying cache does not support
+// invalidation. p must be in [0, NumLogical()).
+func (a *Cache) Invalidate(addr uint64, p int) bool {
+	a.checkPartition(p)
+	return a.sc.Invalidate(addr, p)
+}
+
 // Epochs returns how many epoch steps have run.
 func (a *Cache) Epochs() int {
 	a.epochMu.Lock()

@@ -25,6 +25,29 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
+// EvictNotifier is the optional eviction-reporting extension of the
+// cache contract: implementations call the installed hook once per line
+// evicted by replacement (and once per resident line on Flush), passing
+// the evicted line's owning partition and address. The hook runs on the
+// accessing goroutine with whatever lock guards the cache held, so it
+// must not re-enter the cache. SetAssoc, Ideal, and ShardedCache all
+// implement it; the serving store uses it to release a value's bytes
+// when its simulated line dies.
+type EvictNotifier interface {
+	SetEvictHook(fn func(part int, addr uint64)) bool
+}
+
+// Invalidator is the optional invalidation extension: Invalidate drops
+// the line holding addr for partition part, if resident, and reports
+// whether a line was dropped. An invalidation is not an access — no
+// stats move, no policy state is touched, and the eviction hook does NOT
+// fire (the caller decided the line should die and owns the
+// consequences). The serving store uses it on Delete so a deleted key's
+// line does not linger as phantom residency skewing hit ratios.
+type Invalidator interface {
+	Invalidate(addr uint64, part int) bool
+}
+
 // SetAssoc is a hash-indexed, set-associative, write-allocate cache array
 // with a partitioning scheme restricting victim choice and a replacement
 // policy ranking victims. It implements core.PartitionedCache.
@@ -37,6 +60,7 @@ type SetAssoc struct {
 	pol    policy.Policy
 	scheme partition.Scheme
 	idx    *hash.H3
+	evict  func(part int, addr uint64) // eviction hook, nil when unset
 
 	total   Stats
 	perPart []Stats
@@ -136,7 +160,39 @@ func (c *SetAssoc) Access(addr uint64, part int) bool {
 		return false
 	}
 	c.scheme.OnEvict(int(c.owner[victim]))
+	if c.evict != nil {
+		c.evict(int(c.owner[victim]), c.tags[victim])
+	}
 	c.fill(victim, addr, part, ctx)
+	return false
+}
+
+// SetEvictHook installs fn to be called once per line evicted by
+// replacement (and per resident line on Flush) with the dying line's
+// owning partition and address. Pass nil to clear. Implements
+// EvictNotifier; always reports true.
+func (c *SetAssoc) SetEvictHook(fn func(part int, addr uint64)) bool {
+	c.evict = fn
+	return true
+}
+
+// Invalidate drops the line holding addr for partition part, if
+// resident, and reports whether one was dropped. No stats move and the
+// eviction hook does not fire. The set is derived with part's own index
+// mapping, so under set partitioning a line must be invalidated by its
+// owning partition. Implements Invalidator.
+func (c *SetAssoc) Invalidate(addr uint64, part int) bool {
+	h := c.idx.Hash(addr)
+	set := c.scheme.SetIndex(h, part)
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		li := base + w
+		if c.owner[li] >= 0 && c.tags[li] == addr {
+			c.scheme.OnEvict(int(c.owner[li]))
+			c.owner[li] = -1
+			return true
+		}
+	}
 	return false
 }
 
@@ -189,8 +245,12 @@ func (c *SetAssoc) ResetStats() {
 }
 
 // Flush invalidates all lines and clears policy and occupancy state.
+// The eviction hook, if set, fires for every line that was resident.
 func (c *SetAssoc) Flush() {
 	for i := range c.owner {
+		if c.owner[i] >= 0 && c.evict != nil {
+			c.evict(int(c.owner[i]), c.tags[i])
+		}
 		c.owner[i] = -1
 	}
 	c.pol.Reset()

@@ -19,6 +19,7 @@ type Ideal struct {
 	capacity int64
 	total    Stats
 	perPart  []Stats
+	evict    func(part int, addr uint64) // eviction hook, nil when unset
 }
 
 // ErrOverCommit reports partition sizes exceeding the cache's capacity.
@@ -109,13 +110,45 @@ func (c *Ideal) ResetStats() {
 // PartitionOccupancy returns partition p's resident line count.
 func (c *Ideal) PartitionOccupancy(p int) int64 { return int64(len(c.parts[p].nodes)) }
 
+// SetEvictHook installs fn to be called once per line evicted by
+// capacity pressure — on access overflow or a shrinking resize — with
+// the line's partition and address. Pass nil to clear. Implements
+// EvictNotifier; always reports true.
+func (c *Ideal) SetEvictHook(fn func(part int, addr uint64)) bool {
+	c.evict = fn
+	for p, f := range c.parts {
+		if fn == nil {
+			f.evict = nil
+			continue
+		}
+		p := p
+		f.evict = func(addr uint64) { fn(p, addr) }
+	}
+	return true
+}
+
+// Invalidate drops partition part's line for addr, if resident, and
+// reports whether one was dropped. No stats move and the eviction hook
+// does not fire. Implements Invalidator.
+func (c *Ideal) Invalidate(addr uint64, part int) bool {
+	f := c.parts[part]
+	n, ok := f.nodes[addr]
+	if !ok {
+		return false
+	}
+	f.unlink(n)
+	delete(f.nodes, addr)
+	return true
+}
+
 // fullLRU is a fully-associative LRU cache over line addresses, built on
 // a hash map plus an intrusive doubly-linked list (MRU at head).
 type fullLRU struct {
 	cap   int64
 	nodes map[uint64]*lruNode
-	head  *lruNode // MRU
-	tail  *lruNode // LRU
+	head  *lruNode          // MRU
+	tail  *lruNode          // LRU
+	evict func(addr uint64) // partition-bound eviction hook, nil when unset
 }
 
 type lruNode struct {
@@ -192,4 +225,7 @@ func (f *fullLRU) evictLRU() {
 	victim := f.tail
 	f.unlink(victim)
 	delete(f.nodes, victim.addr)
+	if f.evict != nil {
+		f.evict(victim.addr)
+	}
 }

@@ -405,6 +405,45 @@ func (s *ShardedCache) Stats() Stats {
 	return total
 }
 
+// SetEvictHook forwards fn to every shard that implements EvictNotifier,
+// under each shard's lock, and reports whether all shards accepted it —
+// partial coverage would silently leak values, so a false return means
+// the hook is not installed usably (callers should treat it as
+// unsupported). The hook fires on the accessing goroutine with the
+// owning shard's lock held; it must not re-enter the cache. Implements
+// EvictNotifier.
+func (s *ShardedCache) SetEvictHook(fn func(part int, addr uint64)) bool {
+	ok := true
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n, supported := sh.c.(EvictNotifier)
+		if supported {
+			supported = n.SetEvictHook(fn)
+		}
+		sh.mu.Unlock()
+		if !supported {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Invalidate routes the invalidation to addr's owning shard under its
+// lock and reports whether a resident line was dropped. Shards not
+// implementing Invalidator report false. Safe for concurrent use.
+// Implements Invalidator.
+func (s *ShardedCache) Invalidate(addr uint64, part int) bool {
+	sh := &s.shards[s.shardOf(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	inv, ok := sh.c.(Invalidator)
+	if !ok {
+		return false
+	}
+	return inv.Invalidate(addr, part)
+}
+
 // ShardStats returns shard i's router-level counters.
 func (s *ShardedCache) ShardStats(i int) Stats {
 	sh := &s.shards[i]

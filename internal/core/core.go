@@ -365,6 +365,58 @@ func (t *ShadowedCache) AccessBatch(addrs []uint64, logical int, hits []bool) in
 	return n
 }
 
+// EvictNotifier is the optional eviction-reporting extension of
+// PartitionedCache (structurally cache.EvictNotifier — restated so core
+// keeps no dependency on the cache package): SetEvictHook installs a
+// callback fired once per evicted line with its partition and address,
+// and reports whether the cache supports it end to end.
+type EvictNotifier interface {
+	SetEvictHook(fn func(part int, addr uint64)) bool
+}
+
+// Invalidator is the optional invalidation extension of
+// PartitionedCache (structurally cache.Invalidator): Invalidate drops
+// the line holding addr for the given partition, if resident, without
+// counting an access or firing the eviction hook.
+type Invalidator interface {
+	Invalidate(addr uint64, part int) bool
+}
+
+// SetEvictHook installs fn over the inner cache, translating the inner
+// cache's shadow partition ids back to logical ones (shadow 2p and 2p+1
+// are both logical p), and reports whether the inner cache supports
+// eviction notification. The hook inherits the inner cache's calling
+// context — typically under a shard lock on the accessing goroutine —
+// and must not re-enter the cache. Implements EvictNotifier.
+func (t *ShadowedCache) SetEvictHook(fn func(part int, addr uint64)) bool {
+	n, ok := t.inner.(EvictNotifier)
+	if !ok {
+		return false
+	}
+	if fn == nil {
+		return n.SetEvictHook(nil)
+	}
+	return n.SetEvictHook(func(shadow int, addr uint64) { fn(shadow/2, addr) })
+}
+
+// Invalidate drops logical partition p's line for addr, if resident,
+// and reports whether one was dropped. The line may sit in either
+// shadow partition: the sampler steering addr today need not be the one
+// that filled it (rates move across reconfigurations), so both α (2p)
+// and β (2p+1) are tried. Implements Invalidator.
+func (t *ShadowedCache) Invalidate(addr uint64, p int) bool {
+	inv, ok := t.inner.(Invalidator)
+	if !ok {
+		return false
+	}
+	// A line is resident in at most one shadow partition, but try both:
+	// under set partitioning the set index depends on the partition, so
+	// each shadow has its own candidate set.
+	a := inv.Invalidate(addr, 2*p)
+	b := inv.Invalidate(addr, 2*p+1)
+	return a || b
+}
+
 // NumLogical returns the number of software-visible partitions.
 func (t *ShadowedCache) NumLogical() int { return t.numLogical }
 

@@ -37,11 +37,22 @@
 // Error responses are JSON, shaped {"error": "<message>"}, with the
 // store's typed errors mapped onto status codes:
 //
-//	404  store.ErrNotFound, store.ErrUnknownTenant
+//	404  store.ErrNotFound, store.ErrUnknownTenant (a GET on an unknown
+//	     tenant never registers it — registration is a write privilege)
 //	413  store.ErrValueTooLarge; request bodies over the PUT limit
-//	507  store.ErrTenantCapacity (every partition already has a tenant)
+//	429  store.ErrTenantCapacity (every partition — or the -max-tenants
+//	     cap — already has a tenant; retry against an existing one)
+//	502  store.ErrBackend (the backing tier behind a bounded store failed)
 //	400  store.ErrEmptyTenant/ErrEmptyKey, malformed /v1/record requests,
 //	     store.ErrRecording/ErrNotRecording (start while active / stop while idle)
+//
+// # Bounded-store stats
+//
+// When the store runs in bounded mode (max-bytes and/or a backend —
+// see package store), /v1/stats additionally reports "bounded": true,
+// the live "bytes" total, "maxBytes" when a bound is set, and
+// "backend": true when a backing tier is attached; per-tenant rows gain
+// evictions, admitDrops, admitRho, backendGets, and backendSets.
 //
 // # The POST /v1/record contract
 //

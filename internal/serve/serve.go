@@ -65,7 +65,13 @@ func statusOf(err error) int {
 	case errors.Is(err, store.ErrValueTooLarge):
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, store.ErrTenantCapacity):
-		return http.StatusInsufficientStorage
+		// A client-side condition, not a server fault: the tenant roster
+		// is full, so minting another is refused — 429, the 4xx that says
+		// "stop asking", keeps unauthenticated clients from reading a
+		// 5xx as a server bug to retry against.
+		return http.StatusTooManyRequests
+	case errors.Is(err, store.ErrBackend):
+		return http.StatusBadGateway
 	case errors.Is(err, store.ErrEmptyTenant), errors.Is(err, store.ErrEmptyKey),
 		errors.Is(err, store.ErrRecording), errors.Is(err, store.ErrNotRecording):
 		return http.StatusBadRequest
@@ -158,6 +164,10 @@ type statsResponse struct {
 	CapacityLines int64               `json:"capacityLines"`
 	Cache         *cacheStats         `json:"cache,omitempty"`
 	Recording     bool                `json:"recording"`
+	Bounded       bool                `json:"bounded"`            // value lifetime coupled to line residency
+	Bytes         int64               `json:"bytes"`              // value bytes held across all tenants
+	MaxBytes      int64               `json:"maxBytes,omitempty"` // configured bound (absent when unbounded)
+	Backend       bool                `json:"backend"`            // a backing tier is configured
 }
 
 type cacheStats struct {
@@ -174,6 +184,10 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		Epochs:        ac.Epochs(),
 		CapacityLines: ac.Shadowed().Inner().PartitionableCapacity(),
 		Recording:     h.st.Recording(),
+		Bounded:       h.st.Bounded(),
+		Bytes:         h.st.Bytes(),
+		MaxBytes:      h.st.MaxBytes(),
+		Backend:       h.st.Backend() != nil,
 	}
 	if cs, ok := h.st.CacheStats(); ok {
 		resp.Cache = &cacheStats{Accesses: cs.Accesses, Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate()}

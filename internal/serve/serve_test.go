@@ -142,10 +142,40 @@ func TestRouteErrors(t *testing.T) {
 	if resp, _ = do(t, http.MethodPut, srv.URL+"/v1/cache/alice/k", bytes.Repeat([]byte("x"), 64)); resp.StatusCode != http.StatusNoContent {
 		t.Fatalf("max-size PUT = %d", resp.StatusCode)
 	}
-	// Tenant capacity: two partitions, third tenant refused.
+	// Tenant capacity: two partitions, third tenant refused with a 4xx
+	// (the roster being full is the client's problem, not a server fault).
 	do(t, http.MethodPut, srv.URL+"/v1/cache/bob/k", []byte("v"))
-	if resp, _ = do(t, http.MethodPut, srv.URL+"/v1/cache/carol/k", []byte("v")); resp.StatusCode != http.StatusInsufficientStorage {
-		t.Fatalf("third tenant = %d, want 507", resp.StatusCode)
+	if resp, _ = do(t, http.MethodPut, srv.URL+"/v1/cache/carol/k", []byte("v")); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third tenant = %d, want 429", resp.StatusCode)
+	}
+	// A GET never mints a tenant: an unknown tenant on a pure lookup is
+	// a 404, and the roster stays unchanged for registered ones.
+	if resp, _ = do(t, http.MethodGet, srv.URL+"/v1/cache/mallory/k", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown tenant = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ = do(t, http.MethodGet, srv.URL+"/v1/cache/bob/k", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET registered tenant after stranger = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMaxTenantsCap pins the WithMaxTenants satellite: with the cap
+// below the partition count, the HTTP surface refuses to mint tenants
+// past it — 429, not a 5xx — and pure lookups cannot mint them at all.
+func TestMaxTenantsCap(t *testing.T) {
+	srv, _ := newServer(t, store.Config{MaxTenants: 1}, 0)
+	if resp, _ := do(t, http.MethodPut, srv.URL+"/v1/cache/first/k", []byte("v")); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("first tenant = %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodPut, srv.URL+"/v1/cache/second/k", []byte("v")); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("capped tenant = %d, want 429", resp.StatusCode)
+	}
+	// GET-side minting must be just as impossible: still a 404 and still
+	// no second tenant afterwards.
+	if resp, _ := do(t, http.MethodGet, srv.URL+"/v1/cache/second/k", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET capped tenant = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodPut, srv.URL+"/v1/cache/first/k2", []byte("v")); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("existing tenant after cap = %d", resp.StatusCode)
 	}
 }
 

@@ -17,12 +17,15 @@
 // in ~2^48 lines); a collision only nudges the simulated hit ratio,
 // never the stored values, which live in an exact per-tenant map.
 //
-// Tenants bind to logical partitions in arrival order: the first
-// Get/Set naming a new tenant claims the next free partition
-// (Config.Static disables this and admits only pre-declared tenants).
-// The partition count is fixed at cache construction, so once every
-// partition is claimed further new tenants are refused with
-// ErrTenantCapacity.
+// Tenants bind to logical partitions in arrival order: the first Set
+// naming a new tenant claims the next free partition (Config.Static
+// disables this and admits only pre-declared tenants; Config.MaxTenants
+// caps the roster below the partition count). Registration is a
+// write-path privilege — a Get on an unknown tenant returns
+// ErrUnknownTenant without minting anything, so anonymous lookups
+// cannot exhaust partitions. The partition count is fixed at cache
+// construction, so once every partition (or the MaxTenants cap) is
+// claimed, further new tenants are refused with ErrTenantCapacity.
 //
 // # Hit/miss semantics
 //
@@ -30,10 +33,39 @@
 // or not found. A Get whose key was never Set still accesses the cache
 // (miss traffic shapes the miss curve, as in a real LLC) and returns
 // ErrNotFound. A Get whose key exists returns the bytes either way and
-// reports whether the line hit — the "miss" is the simulated cost
-// (e.g. a backend fetch) a production deployment would pay. Values are
-// never evicted: the store is the system of record, and the adaptive
-// cache in front of it is the performance model being served.
+// reports whether the line hit — the "miss" is the simulated cost a
+// production deployment would pay.
+//
+// # Bounded mode: eviction-coupled values, admission, read-through
+//
+// By default the store keeps every value — the system-of-record mode,
+// where the adaptive cache in front is purely a performance model.
+// Setting Config.MaxBytes or Config.Backend turns the store into a true
+// bounded cache. The store installs an eviction hook down the cache
+// stack (ErrNoEviction if the stack cannot provide one): when the
+// replacement policy evicts a line, the hook releases every value keyed
+// to that line, so the byte footprint tracks the simulated contents and
+// a Get on an evicted key is a real miss. Delete likewise invalidates
+// the key's line (statelessly — no stats, no hook), so a deleted key
+// cannot keep "hitting".
+//
+// With MaxBytes > 0 two more mechanisms engage. A hard reservation
+// check refuses any Set that would push total value bytes over the
+// bound. In front of it sits the Talus-managed admission gate: each
+// tenant samples incoming lines with the same ρ-style hashed sampling
+// the shadow partitions use, and every admitEvery sets the rate is
+// refreshed from bypass.Optimal over the tenant's live hulled miss
+// curve at its byte budget (its share of MaxBytes, scaled by current
+// line allocation) — the paper's bypassing analysis (§VII) steering
+// which values are worth caching at all. Rejected sets count as
+// AdmitDrops in TenantStats.
+//
+// With a Backend configured the store is a read-through, write-through
+// cache over it: Set writes the backing tier first (failures surface as
+// ErrBackend), and a Get whose cached value died refetches from the
+// backend and re-admits through the same admission path. Eviction then
+// costs latency, not data — exactly the deployment the X-Talus-Cache
+// header was modeling.
 //
 // # Request batching
 //

@@ -10,8 +10,10 @@ import (
 	"time"
 
 	"talus/internal/adaptive"
+	"talus/internal/bypass"
 	"talus/internal/cache"
 	"talus/internal/curve"
+	"talus/internal/hash"
 	"talus/internal/hull"
 	"talus/internal/sim"
 	"talus/internal/trace"
@@ -39,7 +41,22 @@ var (
 	ErrNotRecording = errors.New("store: not recording")
 	// ErrRecording reports StartRecording while already recording.
 	ErrRecording = errors.New("store: already recording")
+	// ErrClosed reports SetRecorder/StartRecording after Close.
+	ErrClosed = errors.New("store: closed")
+	// ErrNoEviction reports a bounded configuration (MaxBytes or Backend)
+	// over a cache stack that cannot deliver eviction notifications:
+	// without them evicted lines would strand their value bytes and the
+	// bound could not be honored.
+	ErrNoEviction = errors.New("store: cache stack does not support eviction notification")
 )
+
+// addrMask keeps the 48 address bits hashKey produces; bits 48+ carry
+// the per-partition feeder offsets (sim.AppSpace) the datapath ORs on.
+const addrMask = 1<<48 - 1
+
+// admitEvery is how many Sets a tenant performs between refreshes of
+// its admission rate from the live miss curve (see refreshAdmit).
+const admitEvery = 1024
 
 // Recorder consumes one record per cache access: the record hook the
 // serving front-end uses to capture live traffic. *trace.Writer
@@ -68,6 +85,19 @@ type Config struct {
 	// before falling back to a direct access. 0 selects
 	// DefaultBatchDeadline; negative waits without bound.
 	BatchDeadline time.Duration
+	// MaxBytes bounds the total value bytes held across all tenants;
+	// 0 means unbounded (the pre-bounded system-of-record behaviour).
+	// A positive bound turns on bounded mode: value lifetime couples to
+	// simulated-line residency (evicted lines release their values) and
+	// Sets pass a Talus-managed admission gate.
+	MaxBytes int64
+	// Backend, when non-nil, is the backing tier: Sets write through to
+	// it and a Get whose value is gone (evicted, or never admitted)
+	// reads through and re-admits. A Backend also turns on bounded mode.
+	Backend Backend
+	// MaxTenants caps how many tenants may ever register (pre-declared
+	// plus auto-registered); 0 bounds them only by the partition count.
+	MaxTenants int
 }
 
 // TenantStats reports one tenant's serving counters. CacheHits and
@@ -85,6 +115,13 @@ type TenantStats struct {
 	Keys        int64   `json:"keys"`
 	Bytes       int64   `json:"bytes"`
 	AllocLines  int64   `json:"allocLines"` // current partition allocation
+
+	// Bounded-mode counters (zero when the store is unbounded).
+	Evictions   int64   `json:"evictions"`   // values released by line eviction
+	AdmitDrops  int64   `json:"admitDrops"`  // values refused by admission (gate or byte cap)
+	AdmitRho    float64 `json:"admitRho"`    // current admitted fraction (1 = admit all)
+	BackendGets int64   `json:"backendGets"` // read-through fetches attempted
+	BackendSets int64   `json:"backendSets"` // write-through stores performed
 }
 
 // tenant is one registered tenant: a logical partition, its value map,
@@ -96,12 +133,18 @@ type tenant struct {
 
 	lane lane // request batcher (see batch.go)
 
-	mu    sync.RWMutex
-	vals  map[string][]byte
-	bytes int64
+	mu     sync.RWMutex
+	vals   map[string][]byte
+	bytes  int64
+	byAddr map[uint64][]string // bounded mode: 48-bit line addr → keys on that line
+
+	admit *hash.Sampler // bounded mode: Talus-managed admission gate
 
 	gets, sets, deletes atomic.Int64
 	hits, misses        atomic.Int64
+
+	admitClock                                      atomic.Int64 // sets since the last admission-rate refresh
+	evictions, admitDrops, backendGets, backendSets atomic.Int64
 }
 
 // Store is the keyed serving layer. Construct with New (or the public
@@ -113,6 +156,13 @@ type Store struct {
 	batchSize     int           // max ops per coalesced flush; <=1 disables
 	batchDeadline time.Duration // parked-request wait bound; <=0 unbounded
 
+	bounded    bool    // value lifetime coupled to line residency
+	maxBytes   int64   // global value-byte bound; 0 = none
+	backend    Backend // backing tier; nil = none
+	maxTenants int     // registration cap; 0 = partition count only
+
+	bytesTotal atomic.Int64 // value bytes across all tenants (all modes)
+
 	mu      sync.RWMutex
 	tenants map[string]*tenant
 	byPart  []*tenant // partition index → tenant (nil while unclaimed)
@@ -123,20 +173,31 @@ type Store struct {
 	recW      *trace.Writer // non-nil only for file-backed recording
 	recF      *os.File
 	recErr    error
+	closed    bool // Close ran; recorder installation is refused
 }
 
 // New builds a Store over an adaptive cache, registering cfg.Tenants
 // onto the first partitions. The cache's logical partition count bounds
-// the tenant count.
+// the tenant count. A positive MaxBytes or a non-nil Backend selects
+// bounded mode, which requires the cache stack to support eviction
+// notification (every stack sim.BuildAdaptiveCache builds does);
+// otherwise New fails with ErrNoEviction.
 func New(ac *adaptive.Cache, cfg Config) (*Store, error) {
 	if len(cfg.Tenants) > ac.NumLogical() {
 		return nil, fmt.Errorf("%w: %d tenants for %d partitions", ErrTenantCapacity, len(cfg.Tenants), ac.NumLogical())
+	}
+	if cfg.MaxTenants > 0 && len(cfg.Tenants) > cfg.MaxTenants {
+		return nil, fmt.Errorf("%w: %d tenants pre-declared with MaxTenants %d", ErrTenantCapacity, len(cfg.Tenants), cfg.MaxTenants)
 	}
 	s := &Store{
 		ac:            ac,
 		cfg:           cfg,
 		batchSize:     cfg.BatchSize,
 		batchDeadline: cfg.BatchDeadline,
+		bounded:       cfg.MaxBytes > 0 || cfg.Backend != nil,
+		maxBytes:      cfg.MaxBytes,
+		backend:       cfg.Backend,
+		maxTenants:    cfg.MaxTenants,
 		tenants:       make(map[string]*tenant, ac.NumLogical()),
 		byPart:        make([]*tenant, ac.NumLogical()),
 	}
@@ -146,12 +207,61 @@ func New(ac *adaptive.Cache, cfg Config) (*Store, error) {
 	if s.batchDeadline == 0 {
 		s.batchDeadline = DefaultBatchDeadline
 	}
+	if s.bounded && !ac.SetEvictHook(s.onEvict) {
+		return nil, ErrNoEviction
+	}
 	for _, name := range cfg.Tenants {
 		if _, err := s.register(name); err != nil {
 			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// Bounded reports whether value lifetime is coupled to simulated-line
+// residency (MaxBytes or a Backend was configured).
+func (s *Store) Bounded() bool { return s.bounded }
+
+// MaxBytes returns the configured global value-byte bound (0 = none).
+func (s *Store) MaxBytes() int64 { return s.maxBytes }
+
+// Bytes returns the value bytes currently held across all tenants. In
+// bounded mode it never exceeds MaxBytes (when one is set).
+func (s *Store) Bytes() int64 { return s.bytesTotal.Load() }
+
+// Backend returns the configured backing tier (nil when none).
+func (s *Store) Backend() Backend { return s.backend }
+
+// onEvict is the cache stack's eviction hook: line (part, addr) was
+// evicted, so every value stored on that line dies with it — the next
+// Get for those keys is a true miss (served through the Backend when
+// one is configured). Runs on the accessing goroutine with a shard
+// lock held, so it only touches store/tenant state, never the cache.
+func (s *Store) onEvict(part int, addr uint64) {
+	s.mu.RLock()
+	var t *tenant
+	if part >= 0 && part < len(s.byPart) {
+		t = s.byPart[part]
+	}
+	s.mu.RUnlock()
+	if t == nil {
+		return
+	}
+	line := addr & addrMask // strip the feeder's partition-space bits
+	t.mu.Lock()
+	keys := t.byAddr[line]
+	if len(keys) > 0 {
+		delete(t.byAddr, line)
+		for _, k := range keys {
+			if v, ok := t.vals[k]; ok {
+				t.bytes -= int64(len(v))
+				s.bytesTotal.Add(-int64(len(v)))
+				delete(t.vals, k)
+				t.evictions.Add(1)
+			}
+		}
+	}
+	t.mu.Unlock()
 }
 
 // hashKey maps a key to its 48-bit line address by FNV-1a: stable
@@ -178,6 +288,9 @@ func (s *Store) register(name string) (*tenant, error) {
 	if t, ok := s.tenants[name]; ok {
 		return t, nil // raced with another registration of the same name
 	}
+	if s.maxTenants > 0 && len(s.tenants) >= s.maxTenants {
+		return nil, fmt.Errorf("%w: tenant cap %d reached", ErrTenantCapacity, s.maxTenants)
+	}
 	part := -1
 	for p, t := range s.byPart {
 		if t == nil {
@@ -189,6 +302,12 @@ func (s *Store) register(name string) (*tenant, error) {
 		return nil, fmt.Errorf("%w (%d)", ErrTenantCapacity, len(s.byPart))
 	}
 	t := &tenant{name: name, part: part, space: sim.AppSpace(part), vals: make(map[string][]byte)}
+	if s.bounded {
+		t.byAddr = make(map[uint64][]string)
+		// Deterministic per-partition seed: admission decisions replay
+		// identically across runs and across batched/unbatched stores.
+		t.admit = hash.NewSampler(0xAD417 ^ uint64(part)*0x9E3779B97F4A7C15)
+	}
 	s.tenants[name] = t
 	s.byPart[part] = t
 	return t, nil
@@ -214,30 +333,54 @@ func (s *Store) resolve(name string, autoRegister bool) (*tenant, error) {
 // Get looks key up for tenant. It always performs one cache access
 // (misses shape the miss curve exactly like a real cache's fill
 // traffic) and returns the stored bytes, whether the simulated cache
-// line hit, and ErrNotFound when the key holds no value. The returned
-// slice is shared — callers must not modify it.
+// line hit, and ErrNotFound when the key holds no value. A pure lookup
+// never registers a tenant: naming an unknown one fails with
+// ErrUnknownTenant (tenants are minted by Set). In bounded mode with a
+// Backend, a value miss (evicted or never admitted) reads through the
+// Backend and re-admits under the admission rules. The returned slice
+// is shared — callers must not modify it.
 func (s *Store) Get(tenantName, key string) (value []byte, hit bool, err error) {
 	if key == "" {
 		return nil, false, ErrEmptyKey
 	}
-	t, err := s.resolve(tenantName, true)
+	t, err := s.resolve(tenantName, false)
 	if err != nil {
 		return nil, false, err
 	}
 	t.gets.Add(1)
-	hit = s.access(t, hashKey(key))
+	addr := hashKey(key)
+	hit = s.access(t, addr)
 	t.mu.RLock()
 	value, ok := t.vals[key]
 	t.mu.RUnlock()
-	if !ok {
+	if ok {
+		return value, hit, nil
+	}
+	if s.backend == nil {
 		return nil, hit, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	return value, hit, nil
+	// Read through: the value is gone locally (evicted, never admitted,
+	// or never written here) — fetch it from the backing tier and
+	// re-admit it, paying the modeled backend cost this miss represents.
+	t.backendGets.Add(1)
+	v, berr := s.backend.Get(t.name, key)
+	if berr != nil {
+		if errors.Is(berr, ErrNotFound) {
+			return nil, hit, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return nil, hit, fmt.Errorf("%w: %v", ErrBackend, berr)
+	}
+	s.admitValue(t, key, addr, v)
+	return v, hit, nil
 }
 
 // Set stores value under (tenant, key), warming the key's cache line,
 // and reports whether that line hit (i.e. the key's line was already
-// resident). The value is copied.
+// resident). The value is copied. In bounded mode the write goes
+// through to the Backend first (when one is configured) and the cached
+// copy is then subject to admission: the Talus-managed gate and the
+// MaxBytes bound may decline to retain it (see admitValue), which is
+// not an error — with a Backend the value is durable either way.
 func (s *Store) Set(tenantName, key string, value []byte) (hit bool, err error) {
 	if key == "" {
 		return false, ErrEmptyKey
@@ -249,20 +392,153 @@ func (s *Store) Set(tenantName, key string, value []byte) (hit bool, err error) 
 	if err != nil {
 		return false, err
 	}
+	if s.backend != nil {
+		if berr := s.backend.Set(tenantName, key, value); berr != nil {
+			return false, fmt.Errorf("%w: %v", ErrBackend, berr)
+		}
+		t.backendSets.Add(1)
+	}
 	t.sets.Add(1)
-	hit = s.access(t, hashKey(key))
+	if s.bounded && t.admitClock.Add(1)%admitEvery == 0 {
+		s.refreshAdmit(t)
+	}
+	addr := hashKey(key)
+	hit = s.access(t, addr)
 	cp := make([]byte, len(value))
 	copy(cp, value)
-	t.mu.Lock()
-	t.bytes += int64(len(cp)) - int64(len(t.vals[key]))
-	t.vals[key] = cp
-	t.mu.Unlock()
+	s.admitValue(t, key, addr, cp)
 	return hit, nil
 }
 
-// Delete removes (tenant, key), reporting whether a value existed. It
-// generates no cache traffic (a delete is not a reuse) and never
-// auto-registers tenants.
+// admitValue retains cp as (t, key)'s cached copy, subject in bounded
+// mode to the admission gate and the global byte bound. On rejection
+// any stale cached copy is dropped (a newer backend value must never be
+// shadowed by an older cached one) and the drop is counted. Reports
+// whether the value was retained. Caller must not hold t.mu.
+func (s *Store) admitValue(t *tenant, key string, addr uint64, cp []byte) bool {
+	// The rho gate: the same H3-sampler mechanism Talus uses to split
+	// shadow partitions here decides which lines are worth caching at
+	// all — bypass.Optimal picks the admitted fraction (refreshAdmit),
+	// the sampler realizes it deterministically per address.
+	if s.bounded && s.maxBytes > 0 && !t.admit.ToAlpha(addr) {
+		t.admitDrops.Add(1)
+		s.dropValue(t, key, addr)
+		return false
+	}
+	t.mu.Lock()
+	old, had := t.vals[key]
+	delta := int64(len(cp)) - int64(len(old))
+	if s.maxBytes > 0 && delta > 0 {
+		// Reserve-then-check keeps the bound exact under concurrency:
+		// the Add is the reservation, rolled back when it overdraws.
+		if s.bytesTotal.Add(delta) > s.maxBytes {
+			s.bytesTotal.Add(-delta)
+			if had {
+				t.bytes -= int64(len(old))
+				s.bytesTotal.Add(-int64(len(old)))
+				delete(t.vals, key)
+				t.dropAddrKeyLocked(addr, key)
+			}
+			t.mu.Unlock()
+			t.admitDrops.Add(1)
+			return false
+		}
+	} else {
+		s.bytesTotal.Add(delta)
+	}
+	t.bytes += delta
+	t.vals[key] = cp
+	if s.bounded && !had {
+		t.byAddr[addr] = append(t.byAddr[addr], key)
+	}
+	t.mu.Unlock()
+	return true
+}
+
+// dropValue removes (t, key)'s cached copy, if any, releasing its bytes.
+func (s *Store) dropValue(t *tenant, key string, addr uint64) {
+	t.mu.Lock()
+	if old, ok := t.vals[key]; ok {
+		t.bytes -= int64(len(old))
+		s.bytesTotal.Add(-int64(len(old)))
+		delete(t.vals, key)
+		t.dropAddrKeyLocked(addr, key)
+	}
+	t.mu.Unlock()
+}
+
+// dropAddrKeyLocked unlinks key from the byAddr index. Caller holds
+// t.mu; no-op in unbounded mode.
+func (t *tenant) dropAddrKeyLocked(addr uint64, key string) {
+	if t.byAddr == nil {
+		return
+	}
+	keys := t.byAddr[addr]
+	for i, k := range keys {
+		if k == key {
+			keys[i] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+			break
+		}
+	}
+	if len(keys) == 0 {
+		delete(t.byAddr, addr)
+	} else {
+		t.byAddr[addr] = keys
+	}
+}
+
+// refreshAdmit reprograms t's admission rate from its live miss curve:
+// bypass.Optimal (the paper's Eq. 6) finds the admitted fraction ρ that
+// minimizes misses for a cache of t's byte budget — MaxBytes split
+// pro rata by the allocator's current line allocations, converted to
+// lines via the tenant's mean value size. Before the first epoch (no
+// curve yet) the gate stays open (ρ = 1).
+func (s *Store) refreshAdmit(t *tenant) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	c := s.ac.Curve(t.part)
+	if c == nil {
+		return
+	}
+	allocs := s.ac.Allocations()
+	if t.part >= len(allocs) {
+		return
+	}
+	var sum int64
+	for _, a := range allocs {
+		sum += a
+	}
+	if sum <= 0 || allocs[t.part] <= 0 {
+		return
+	}
+	budgetBytes := float64(s.maxBytes) * float64(allocs[t.part]) / float64(sum)
+	t.mu.RLock()
+	keys, bytes := len(t.vals), t.bytes
+	t.mu.RUnlock()
+	avg := 256.0 // before any residency, assume modest values
+	if keys > 0 && bytes > 0 {
+		avg = float64(bytes) / float64(keys)
+	}
+	budgetLines := budgetBytes / avg
+	if budgetLines <= 0 {
+		return
+	}
+	cfg, err := bypass.Optimal(c, budgetLines)
+	if err != nil {
+		return
+	}
+	t.admit.SetRate(cfg.Rho)
+}
+
+// Delete removes (tenant, key), reporting whether a cached value
+// existed, and invalidates the key's simulated line so a dead key does
+// not linger as phantom residency skewing hit ratios and miss curves.
+// It generates no cache traffic (a delete is not a reuse) and never
+// auto-registers tenants. With a Backend the delete goes through to it
+// first; existed still reports the cached copy only (an evicted value
+// deletes as existed=false even though the backend held it).
 func (s *Store) Delete(tenantName, key string) (existed bool, err error) {
 	if key == "" {
 		return false, ErrEmptyKey
@@ -271,12 +547,24 @@ func (s *Store) Delete(tenantName, key string) (existed bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	if s.backend != nil {
+		if berr := s.backend.Delete(tenantName, key); berr != nil {
+			return false, fmt.Errorf("%w: %v", ErrBackend, berr)
+		}
+	}
 	t.deletes.Add(1)
+	addr := hashKey(key)
+	// Invalidate before touching t.mu: invalidation takes a shard lock,
+	// and the eviction hook takes t.mu while holding one — taking them
+	// in the opposite order here would deadlock.
+	s.ac.Invalidate(addr|t.space, t.part)
 	t.mu.Lock()
 	old, ok := t.vals[key]
 	if ok {
 		t.bytes -= int64(len(old))
+		s.bytesTotal.Add(-int64(len(old)))
 		delete(t.vals, key)
+		t.dropAddrKeyLocked(addr, key)
 	}
 	t.mu.Unlock()
 	return ok, nil
@@ -310,6 +598,14 @@ func (s *Store) statsOf(t *tenant, allocs []int64) TenantStats {
 		CacheMisses: t.misses.Load(),
 		Keys:        keys,
 		Bytes:       bytes,
+		Evictions:   t.evictions.Load(),
+		AdmitDrops:  t.admitDrops.Load(),
+		AdmitRho:    1,
+		BackendGets: t.backendGets.Load(),
+		BackendSets: t.backendSets.Load(),
+	}
+	if t.admit != nil {
+		st.AdmitRho = t.admit.Rate()
 	}
 	if acc := st.CacheHits + st.CacheMisses; acc > 0 {
 		st.HitRatio = float64(st.CacheHits) / float64(acc)
@@ -378,10 +674,14 @@ func (s *Store) CacheStats() (st cache.Stats, ok bool) {
 
 // SetRecorder installs (or, with nil, removes) the record hook: every
 // subsequent Get/Set access is appended as (partition, raw address).
-// Not valid while file-backed recording is active.
+// Not valid while file-backed recording is active, nor after Close
+// (ErrClosed) — a closed store must not spring back to life recording.
 func (s *Store) SetRecorder(r Recorder) error {
 	s.recMu.Lock()
 	defer s.recMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	if s.recW != nil {
 		return ErrRecording
 	}
@@ -407,6 +707,9 @@ func (s *Store) StartRecording(path string, gz bool) error {
 
 	s.recMu.Lock()
 	defer s.recMu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	if s.rec != nil {
 		return ErrRecording
 	}
@@ -434,6 +737,13 @@ func (s *Store) StartRecording(path string, gz bool) error {
 func (s *Store) StopRecording() (int64, error) {
 	s.recMu.Lock()
 	defer s.recMu.Unlock()
+	return s.stopRecordingLocked()
+}
+
+// stopRecordingLocked is StopRecording's body; caller holds recMu. A
+// single teardown point shared with Close, so concurrent Close and
+// StopRecording calls can never double-close the writer or the file.
+func (s *Store) stopRecordingLocked() (int64, error) {
 	if s.recW == nil {
 		return 0, ErrNotRecording
 	}
@@ -454,16 +764,22 @@ func (s *Store) StopRecording() (int64, error) {
 func (s *Store) Recording() bool { return s.recording.Load() }
 
 // Close stops any active recording and shuts down the adaptive cache's
-// background epoch ticker. The store rejects nothing after Close — it
-// simply stops recording and reconfiguring on wall-clock time.
+// background epoch ticker. Safe to call concurrently and repeatedly:
+// the recorder teardown happens exactly once, under the same lock the
+// datapath's record appends take, so an in-flight batched access either
+// lands in the trace before the writer closes or is skipped cleanly —
+// never appended to a closed writer. The Get/Set/Delete datapath stays
+// usable after Close; only recorder installation is refused (ErrClosed).
 func (s *Store) Close() error {
 	s.recMu.Lock()
-	needStop := s.recW != nil
-	s.recMu.Unlock()
 	var err error
-	if needStop {
-		_, err = s.StopRecording()
+	if !s.closed {
+		s.closed = true
+		if s.recW != nil {
+			_, err = s.stopRecordingLocked()
+		}
 	}
+	s.recMu.Unlock()
 	if cerr := s.ac.Close(); err == nil {
 		err = cerr
 	}

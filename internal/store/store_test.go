@@ -33,11 +33,17 @@ func buildStore(t *testing.T, capacity int64, shards, partitions int, cfg store.
 func TestStoreRoundTrip(t *testing.T) {
 	s := buildStore(t, 8192, 1, 2, store.Config{})
 
-	if _, _, err := s.Get("alice", "k"); !errors.Is(err, store.ErrNotFound) {
-		t.Fatalf("get before set: %v, want ErrNotFound", err)
+	// A pure lookup never mints a tenant: before alice's first Set she
+	// does not exist (registration is a write-path privilege).
+	if _, _, err := s.Get("alice", "k"); !errors.Is(err, store.ErrUnknownTenant) {
+		t.Fatalf("get before set: %v, want ErrUnknownTenant", err)
 	}
 	if _, err := s.Set("alice", "k", []byte("v1")); err != nil {
 		t.Fatal(err)
+	}
+	// Registered tenant, absent key: a plain value miss.
+	if _, _, err := s.Get("alice", "nope"); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("get absent key: %v, want ErrNotFound", err)
 	}
 	val, _, err := s.Get("alice", "k")
 	if err != nil || string(val) != "v1" {
@@ -52,6 +58,9 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatalf("after overwrite got %q", val)
 	}
 	// Tenants are namespaces: bob's "k" is a different line and value.
+	if _, err := s.Set("bob", "other", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
 	if _, _, err := s.Get("bob", "k"); !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("cross-tenant leak: %v", err)
 	}

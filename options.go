@@ -44,6 +44,9 @@ type options struct {
 	maxValueBytes int64
 	batchSize     int
 	batchDeadline time.Duration
+	maxBytes      int64
+	backend       store.Backend
+	maxTenants    int
 }
 
 // Option configures New and NewStore.
@@ -147,6 +150,32 @@ func WithBatchDeadline(d time.Duration) Option {
 	return func(o *options) { o.batchDeadline = d }
 }
 
+// WithMaxBytes bounds the total value bytes the store holds across all
+// tenants (NewStore only), turning it into a true bounded cache: value
+// lifetime couples to simulated-line residency (an evicted line
+// releases its values, so Get on an evicted key is a real miss) and
+// writes pass a Talus-managed admission gate — the paper's optimal
+// bypassing (Eq. 6) applied to value admission, refreshed from each
+// tenant's live miss curve. 0 (the default) keeps the unbounded
+// system-of-record behaviour.
+func WithMaxBytes(n int64) Option { return func(o *options) { o.maxBytes = n } }
+
+// WithBackend installs the backing tier behind the cache (NewStore
+// only): Sets write through to it and a Get whose value was evicted or
+// never admitted reads through it and re-admits, making the store a
+// read-through cache. A Backend also enables eviction-coupled value
+// storage (like WithMaxBytes, but without a byte bound of its own).
+// Use NewMemBackend for the in-memory reference tier with modeled
+// latency, or bring any Backend implementation.
+func WithBackend(b Backend) Option { return func(o *options) { o.backend = b } }
+
+// WithMaxTenants caps how many tenants may ever register — pre-declared
+// plus auto-registered — so an open HTTP front-end cannot be made to
+// mint a tenant per request (NewStore only). Exceeding the cap returns
+// ErrTenantCapacity. 0 (the default) bounds tenants only by the
+// partition count.
+func WithMaxTenants(n int) Option { return func(o *options) { o.maxTenants = n } }
+
 // build applies opts over the defaults and validates the result.
 func build(opts []Option) (*options, error) {
 	o := &options{
@@ -226,6 +255,21 @@ const (
 	DefaultBatchDeadline = store.DefaultBatchDeadline
 )
 
+// Backend is the pluggable backing tier behind a bounded store: the
+// "database" the cache reads through on value misses and writes
+// through on Sets. See WithBackend.
+type Backend = store.Backend
+
+// MemBackend is the in-memory reference Backend with modeled
+// per-operation latency. See NewMemBackend.
+type MemBackend = store.MemBackend
+
+// NewMemBackend builds an empty in-memory backend that sleeps latency
+// on every operation (0 disables the delay).
+func NewMemBackend(latency time.Duration) *MemBackend {
+	return store.NewMemBackend(latency)
+}
+
 // Store boundary errors (see the internal/store package docs).
 var (
 	ErrEmptyTenant    = store.ErrEmptyTenant
@@ -234,14 +278,19 @@ var (
 	ErrTenantCapacity = store.ErrTenantCapacity
 	ErrNotFound       = store.ErrNotFound
 	ErrValueTooLarge  = store.ErrValueTooLarge
+	ErrBackend        = store.ErrBackend
+	ErrClosed         = store.ErrClosed
 )
 
 // NewStore constructs the keyed store over a cache built from the same
 // options New takes, plus the store-specific ones (WithTenants,
-// WithStaticTenants, WithMaxValueBytes). Tenants map to logical
-// partitions (first come, first served unless static); keys hash to
-// line addresses; every request drives the adaptive control loop.
-// Close the store when done (stops recording and the epoch ticker).
+// WithStaticTenants, WithMaxValueBytes, WithMaxBytes, WithBackend,
+// WithMaxTenants). Tenants map to logical partitions (first come,
+// first served unless static); keys hash to line addresses; every
+// request drives the adaptive control loop. WithMaxBytes or
+// WithBackend makes the store a true bounded cache — values die with
+// their evicted lines instead of accumulating forever. Close the store
+// when done (stops recording and the epoch ticker).
 func NewStore(opts ...Option) (*Store, error) {
 	o, err := build(opts)
 	if err != nil {
@@ -258,6 +307,9 @@ func NewStore(opts ...Option) (*Store, error) {
 		MaxValueBytes: o.maxValueBytes,
 		BatchSize:     o.batchSize,
 		BatchDeadline: o.batchDeadline,
+		MaxBytes:      o.maxBytes,
+		Backend:       o.backend,
+		MaxTenants:    o.maxTenants,
 	})
 }
 
