@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt vet examples bench-smoke bench-serving bench-serving-mp
+.PHONY: all build test race check fmt vet examples bench-smoke bench-serving bench-serving-mp bench-serving-matrix bench-compare profile-serving
 
 all: check test
 
@@ -45,3 +45,36 @@ bench-serving:
 BENCH_PROCS ?= 4
 bench-serving-mp:
 	GOMAXPROCS=$(BENCH_PROCS) $(GO) run ./cmd/talus-bench -append -out BENCH_serving.json
+
+# bench-serving-matrix regenerates BENCH_serving.json at both tracked
+# GOMAXPROCS shapes: the single-proc baseline first (overwriting), then
+# the contended procs=$(BENCH_PROCS) rows appended by (name, procs).
+bench-serving-matrix:
+	GOMAXPROCS=1 $(GO) run ./cmd/talus-bench -out BENCH_serving.json
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) run ./cmd/talus-bench -append -out BENCH_serving.json
+
+# bench-compare reruns the serving benchmarks and diffs them against the
+# committed BENCH_serving.json, keyed by (name, procs); it exits
+# non-zero when any benchmark is more than BENCH_THRESHOLD (fractional)
+# slower than the baseline. CI runs this as a non-blocking lane so the
+# delta table is in every run's log.
+BENCH_THRESHOLD ?= 0.10
+bench-compare:
+	$(GO) run ./cmd/talus-bench -compare -threshold $(BENCH_THRESHOLD) -out BENCH_serving.json
+
+# profile-serving captures cpu and alloc profiles of the serving hot
+# path, built with -tags profilelabels so samples carry pprof labels
+# (talus=batch-flush for combiner flushes, talus=epoch-step for
+# reconfigurations; see EXPERIMENTS.md "Profiling the serving path").
+# Inspect with: go tool pprof -tagfocus talus=batch-flush profiles/serving.test profiles/serving.cpu.pprof
+PROFILE_DIR ?= profiles
+profile-serving:
+	mkdir -p $(PROFILE_DIR)
+	GOMAXPROCS=$(BENCH_PROCS) $(GO) test -tags profilelabels -run '^$$' \
+		-bench 'StoreGet|StoreSet|AdaptiveAccessBatch|ShadowedShardedBatch' \
+		-benchtime 2s -benchmem \
+		-cpuprofile $(PROFILE_DIR)/serving.cpu.pprof \
+		-memprofile $(PROFILE_DIR)/serving.mem.pprof \
+		-o $(PROFILE_DIR)/serving.test .
+	@echo "wrote $(PROFILE_DIR)/serving.{cpu,mem}.pprof; inspect with:"
+	@echo "  go tool pprof $(PROFILE_DIR)/serving.test $(PROFILE_DIR)/serving.cpu.pprof"

@@ -31,12 +31,23 @@
 // next to the single-proc baseline instead of erasing it. `make
 // bench-serving-mp` uses this to grow BENCH_serving.json with the
 // contended (procs > 1) shape of the same hot paths.
+//
+// With -compare, the tool inverts its role: instead of writing a
+// baseline it runs the benchmarks fresh, diffs them against the
+// committed -out file keyed by (name, procs), prints a delta table, and
+// exits non-zero when any benchmark regressed by more than -threshold
+// (fractional ns/op growth; 0.10 = 10%). Rows present on only one side
+// are reported but never fail the run — machines differ, and new
+// benchmarks need a first landing. `make bench-compare` runs it; CI has
+// a non-blocking lane doing the same so the delta table lands in every
+// run's log without gating merges on shared-runner noise.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
@@ -78,26 +89,139 @@ func main() {
 		benchtime = flag.String("benchtime", "2s", "go test -benchtime value (e.g. 2s, 100x)")
 		count     = flag.Int("count", 1, "go test -count value")
 		pkg       = flag.String("pkg", ".", "package pattern to bench")
-		out       = flag.String("out", "BENCH_serving.json", "output JSON path (- for stdout)")
+		out       = flag.String("out", "BENCH_serving.json", "output JSON path (- for stdout); with -compare, the baseline to diff against")
 		appendOut = flag.Bool("append", false, "merge into an existing -out file: rows keyed by (name, procs), new rows win")
+		compare   = flag.Bool("compare", false, "run fresh and diff against -out instead of writing it; non-zero exit past -threshold")
+		threshold = flag.Float64("threshold", 0.10, "fractional ns/op regression -compare tolerates per benchmark (0.10 = 10%)")
 	)
 	flag.Parse()
+	if *compare {
+		if err := runCompare(*bench, *benchtime, *count, *pkg, *out, *threshold); err != nil {
+			fmt.Fprintf(os.Stderr, "talus-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*bench, *benchtime, *count, *pkg, *out, *appendOut); err != nil {
 		fmt.Fprintf(os.Stderr, "talus-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime string, count int, pkg, out string, appendOut bool) error {
+// runBench shells out to go test -bench and parses the results.
+func runBench(bench, benchtime string, count int, pkg string) ([]Result, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", bench, "-benchmem", "-benchtime", benchtime,
 		"-count", strconv.Itoa(count), pkg)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
-		return fmt.Errorf("go test -bench: %w", err)
+		return nil, fmt.Errorf("go test -bench: %w", err)
 	}
-	results, err := Parse(string(raw))
+	return Parse(string(raw))
+}
+
+// Delta is one benchmark's baseline-vs-fresh comparison. Frac is the
+// fractional ns/op change (+0.12 = 12% slower than baseline); it is NaN
+// for rows present on only one side.
+type Delta struct {
+	Name            string
+	Procs           int
+	BaseNs, FreshNs float64
+	Frac            float64
+}
+
+// Diff pairs baseline and fresh rows by (name, procs), in fresh-run
+// order followed by baseline-only rows.
+func Diff(baseline, fresh []Result) []Delta {
+	type key struct {
+		name  string
+		procs int
+	}
+	base := make(map[key]Result, len(baseline))
+	for _, r := range baseline {
+		base[key{r.Name, r.Procs}] = r
+	}
+	var out []Delta
+	seen := make(map[key]bool, len(fresh))
+	for _, r := range fresh {
+		k := key{r.Name, r.Procs}
+		seen[k] = true
+		d := Delta{Name: r.Name, Procs: r.Procs, FreshNs: r.NsPerOp, Frac: math.NaN()}
+		if b, ok := base[k]; ok && b.NsPerOp > 0 {
+			d.BaseNs = b.NsPerOp
+			d.Frac = (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		out = append(out, d)
+	}
+	for _, r := range baseline {
+		if !seen[key{r.Name, r.Procs}] {
+			out = append(out, Delta{Name: r.Name, Procs: r.Procs, BaseNs: r.NsPerOp, Frac: math.NaN()})
+		}
+	}
+	return out
+}
+
+// FormatDeltas renders the comparison table talus-bench -compare prints.
+func FormatDeltas(deltas []Delta, threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %5s %12s %12s %9s\n", "benchmark", "procs", "baseline", "fresh", "delta")
+	for _, d := range deltas {
+		switch {
+		case d.BaseNs == 0:
+			fmt.Fprintf(&b, "%-28s %5d %12s %9.1f ns %9s\n", d.Name, d.Procs, "—", d.FreshNs, "new")
+		case d.FreshNs == 0:
+			fmt.Fprintf(&b, "%-28s %5d %9.1f ns %12s %9s\n", d.Name, d.Procs, d.BaseNs, "—", "gone")
+		default:
+			mark := ""
+			if d.Frac > threshold {
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(&b, "%-28s %5d %9.1f ns %9.1f ns %+8.1f%%%s\n",
+				d.Name, d.Procs, d.BaseNs, d.FreshNs, 100*d.Frac, mark)
+		}
+	}
+	return b.String()
+}
+
+// Regressions returns the deltas whose fractional slowdown exceeds
+// threshold (one-sided rows never regress).
+func Regressions(deltas []Delta, threshold float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if !math.IsNaN(d.Frac) && d.Frac > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// runCompare implements -compare: fresh run, diff against the committed
+// baseline, delta table on stdout, error when any row regressed past
+// threshold.
+func runCompare(bench, benchtime string, count int, pkg, baselinePath string, threshold float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("-compare: reading baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("-compare: baseline %s is not a talus-bench report: %w", baselinePath, err)
+	}
+	fresh, err := runBench(bench, benchtime, count, pkg)
+	if err != nil {
+		return err
+	}
+	deltas := Diff(base.Benchmarks, fresh)
+	fmt.Print(FormatDeltas(deltas, threshold))
+	if reg := Regressions(deltas, threshold); len(reg) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", len(reg), 100*threshold, baselinePath)
+	}
+	return nil
+}
+
+func run(bench, benchtime string, count int, pkg, out string, appendOut bool) error {
+	results, err := runBench(bench, benchtime, count, pkg)
 	if err != nil {
 		return err
 	}

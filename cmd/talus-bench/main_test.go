@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 const sample = `goos: linux
 goarch: amd64
@@ -68,5 +71,38 @@ func TestMerge(t *testing.T) {
 	}
 	if n := len(Merge(nil, fresh)); n != 2 {
 		t.Fatalf("merge into empty report kept %d rows, want 2", n)
+	}
+}
+
+func TestDiffAndRegressions(t *testing.T) {
+	base := []Result{
+		{Name: "StoreGet", Procs: 1, NsPerOp: 200},
+		{Name: "StoreGetParallel", Procs: 4, NsPerOp: 100},
+		{Name: "Retired", Procs: 1, NsPerOp: 50},
+	}
+	fresh := []Result{
+		{Name: "StoreGet", Procs: 1, NsPerOp: 190},         // improved
+		{Name: "StoreGetParallel", Procs: 4, NsPerOp: 130}, // +30%: regressed
+		{Name: "BrandNew", Procs: 1, NsPerOp: 10},          // baseline-less
+	}
+	deltas := Diff(base, fresh)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4 (2 paired + new + gone)", len(deltas))
+	}
+	if d := deltas[0]; d.Name != "StoreGet" || d.Frac >= 0 {
+		t.Fatalf("StoreGet delta = %+v, want improvement", d)
+	}
+	reg := Regressions(deltas, 0.10)
+	if len(reg) != 1 || reg[0].Name != "StoreGetParallel" {
+		t.Fatalf("regressions = %+v, want exactly StoreGetParallel", reg)
+	}
+	if reg := Regressions(deltas, 0.50); len(reg) != 0 {
+		t.Fatalf("threshold 50%% flagged %+v", reg)
+	}
+	table := FormatDeltas(deltas, 0.10)
+	for _, want := range []string{"REGRESSED", "new", "gone", "StoreGet"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("delta table missing %q:\n%s", want, table)
+		}
 	}
 }

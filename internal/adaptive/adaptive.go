@@ -1,7 +1,9 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +43,12 @@ type Config struct {
 	// control loop purely access-driven with no background goroutine.
 	// Callers that set this must Close the cache to stop the ticker.
 	EpochInterval time.Duration
+	// MonitorSlices is the per-partition monitor's slice count: sampled
+	// accesses lock only the slice owning their monitor set, so
+	// concurrent accessors to one partition stop contending on a single
+	// monitor lock. 0 selects monitor.DefaultMonitorSlices; the value is
+	// clamped by the monitor geometry (see NewSlicedEpochMonitor).
+	MonitorSlices int
 	// Seed derives the monitors' hash functions.
 	Seed uint64
 }
@@ -61,11 +69,12 @@ func (c *Config) defaults() {
 }
 
 // monSlot is one partition's monitor lane, padded so concurrently
-// accessed lanes do not false-share.
+// accessed lanes do not false-share. There is no lane lock: the sliced
+// monitor synchronizes internally per slice, and the epoch access count
+// is an atomic — steady-state accesses touch no lane-wide mutable state.
 type monSlot struct {
-	mu       sync.Mutex
-	mon      *monitor.EpochMonitor
-	accesses int64 // observed this epoch (under mu)
+	mon      *monitor.SlicedEpochMonitor
+	accesses atomic.Int64 // observed this epoch
 	_        [64]byte
 }
 
@@ -109,7 +118,7 @@ func New(sc *core.ShadowedCache, cfg Config) (*Cache, error) {
 		lastCurves: make([]*curve.Curve, n),
 	}
 	for p := range a.mons {
-		mon, err := monitor.NewEpochMonitor(budget, cfg.Retain, cfg.Seed+uint64(p)*0x9E3779B9)
+		mon, err := monitor.NewSlicedEpochMonitor(budget, cfg.Retain, cfg.Seed+uint64(p)*0x9E3779B9, cfg.MonitorSlices)
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: partition %d monitor: %w", p, err)
 		}
@@ -187,33 +196,29 @@ func (a *Cache) checkPartition(p int) {
 func (a *Cache) Access(addr uint64, p int) bool {
 	a.checkPartition(p)
 	s := &a.mons[p]
-	s.mu.Lock()
 	s.mon.Observe(addr)
-	s.accesses++
-	s.mu.Unlock()
+	s.accesses.Add(1)
 	hit := a.sc.Access(addr, p)
 	a.afterAccesses(1)
 	return hit
 }
 
-// AccessBatch is Access for a batch of one partition's accesses: the
-// monitor lane's lock and the inner cache's shard locks are each taken
-// once per batch, and the monitor bank samples the batch in one pass
-// (EpochMonitor.ObserveBatch). hits, when non-nil, receives per-access
-// outcomes; the return value is the number of hits. Results are
-// byte-identical to the equivalent Access loop; when batch boundaries
-// divide the epoch length, epoch timing — and therefore every curve,
-// allocation, and hit — matches the unbatched run exactly.
+// AccessBatch is Access for a batch of one partition's accesses: each
+// touched monitor slice's lock and the inner cache's shard locks are
+// taken once per batch, and the monitor bank samples the batch in one
+// pass (SlicedEpochMonitor.ObserveBatch). hits, when non-nil, receives
+// per-access outcomes; the return value is the number of hits. Results
+// are byte-identical to the equivalent Access loop; when batch
+// boundaries divide the epoch length, epoch timing — and therefore
+// every curve, allocation, and hit — matches the unbatched run exactly.
 func (a *Cache) AccessBatch(addrs []uint64, p int, hits []bool) int {
 	a.checkPartition(p)
 	if len(addrs) == 0 {
 		return 0
 	}
 	s := &a.mons[p]
-	s.mu.Lock()
 	s.mon.ObserveBatch(addrs)
-	s.accesses += int64(len(addrs))
-	s.mu.Unlock()
+	s.accesses.Add(int64(len(addrs)))
 	n := a.sc.AccessBatch(addrs, p, hits)
 	a.afterAccesses(int64(len(addrs)))
 	return n
@@ -248,8 +253,17 @@ func (a *Cache) ForceEpoch() error {
 	return a.lastErr
 }
 
-// runEpochLocked is the control loop body. Caller holds epochMu.
+// runEpochLocked is the control loop body, labeled for profiling so
+// `make profile-serving` attributes reconfiguration cost separately from
+// the datapath. Caller holds epochMu.
 func (a *Cache) runEpochLocked() {
+	pprof.Do(context.Background(), pprof.Labels("talus", "epoch-step"), func(context.Context) {
+		a.epochBody()
+	})
+}
+
+// epochBody does the actual epoch work. Caller holds epochMu.
+func (a *Cache) epochBody() {
 	// Drain each lane's epoch access count and extract its EWMA curve.
 	// The denominator is shared across partitions — every curve is
 	// normalized per kilo-access of the whole cache's epoch stream — so
@@ -258,11 +272,7 @@ func (a *Cache) runEpochLocked() {
 	// aggregate-MPKI objective.
 	var epochAcc int64
 	for p := range a.mons {
-		s := &a.mons[p]
-		s.mu.Lock()
-		epochAcc += s.accesses
-		s.accesses = 0
-		s.mu.Unlock()
+		epochAcc += a.mons[p].accesses.Swap(0)
 	}
 	if epochAcc == 0 {
 		// Nothing to measure: a trivially successful epoch (Err's
@@ -274,10 +284,9 @@ func (a *Cache) runEpochLocked() {
 	units := float64(epochAcc)
 	budget := a.sc.Inner().PartitionableCapacity()
 	for p := range a.mons {
-		s := &a.mons[p]
-		s.mu.Lock()
-		c, err := s.mon.EpochCurve(units)
-		s.mu.Unlock()
+		// EpochCurve drains the monitor slices and is serialized by
+		// epochMu; racing observers accrue to this epoch or the next.
+		c, err := a.mons[p].mon.EpochCurve(units)
 		if err == nil {
 			a.lastCurves[p] = c
 		} else if a.lastCurves[p] == nil {
@@ -375,6 +384,22 @@ func (a *Cache) Config(p int) core.Config {
 
 // NumLogical returns the number of software-visible partitions.
 func (a *Cache) NumLogical() int { return a.n }
+
+// EnableSharedHits switches the underlying cache stack into lock-free
+// hit mode (see core.SharedHitEnabler) and reports whether it took end
+// to end. The adaptive layer's own hot path is already contention-free —
+// sliced monitors and atomic access counters — so this is the last
+// switch needed for a fully shared-hit serving path. One-way; call
+// before concurrent traffic starts.
+func (a *Cache) EnableSharedHits() bool { return a.sc.EnableSharedHits() }
+
+// Monitor exposes partition p's sliced epoch monitor. Identity tests
+// compare its merged histograms against a single-monitor baseline fed
+// the same stream; production callers have no reason to touch it.
+func (a *Cache) Monitor(p int) *monitor.SlicedEpochMonitor {
+	a.checkPartition(p)
+	return a.mons[p].mon
+}
 
 // Shadowed exposes the wrapped Talus runtime (shadow sizes, inner cache).
 func (a *Cache) Shadowed() *core.ShadowedCache { return a.sc }

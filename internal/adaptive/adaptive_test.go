@@ -96,6 +96,26 @@ func TestAdaptiveRaceHammer(t *testing.T) {
 	})
 
 	var wg sync.WaitGroup
+	stopForce := make(chan struct{})
+	var forceDone sync.WaitGroup
+	forceDone.Add(1)
+	go func() {
+		// Forced epoch reconfigures racing the batch traffic: the epoch
+		// step drains every monitor slice and reprograms shadow sizes
+		// while AccessBatch streams through the same monitors and cache.
+		defer forceDone.Done()
+		for {
+			select {
+			case <-stopForce:
+				return
+			default:
+			}
+			if err := ac.ForceEpoch(); err != nil {
+				t.Errorf("forced epoch: %v", err)
+				return
+			}
+		}
+	}()
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
 		go func(g int) {
@@ -113,6 +133,8 @@ func TestAdaptiveRaceHammer(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+	close(stopForce)
+	forceDone.Wait()
 
 	stats := ac.Shadowed().Inner().(*cache.ShardedCache).Stats()
 	if want := int64(goroutines * perG); stats.Accesses != want {

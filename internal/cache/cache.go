@@ -3,6 +3,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"talus/internal/hash"
 	"talus/internal/partition"
@@ -55,12 +56,22 @@ type SetAssoc struct {
 	sets  int
 	assoc int
 	tags  []uint64
-	owner []int16 // per line: owning partition, -1 = invalid
+	owner []int32 // per line: owning partition, -1 = invalid (int32: atomically loadable in shared mode)
 
 	pol    policy.Policy
 	scheme partition.Scheme
 	idx    *hash.H3
 	evict  func(part int, addr uint64) // eviction hook, nil when unset
+
+	// shared-hits mode (EnableSharedHits): AccessShared may probe for
+	// hits without any external lock. seq is a seqlock generation
+	// counter — odd while a mutator is rewriting tags/owner — that lets
+	// probes detect a racing eviction/invalidation/flush and fall back
+	// to the locked path. In shared mode every tags/owner write and
+	// every stats counter is atomic so probes and (externally locked)
+	// mutators never data-race.
+	shared bool
+	seq    atomic.Uint64
 
 	total   Stats
 	perPart []Stats
@@ -94,7 +105,7 @@ func NewSetAssoc(capacityLines int64, assoc int, scheme partition.Scheme, factor
 		sets:    sets,
 		assoc:   assoc,
 		tags:    make([]uint64, n),
-		owner:   make([]int16, n),
+		owner:   make([]int32, n),
 		pol:     factory(sets, assoc, seed),
 		scheme:  scheme,
 		idx:     hash.NewH3(seed^0xCAC4E, 64),
@@ -108,6 +119,104 @@ func NewSetAssoc(capacityLines int64, assoc int, scheme partition.Scheme, factor
 	return c, nil
 }
 
+// bumpAccess / bumpHit / bumpMiss / bumpBypass move the stats counters,
+// atomically in shared mode (lock-free probes update them concurrently
+// with the locked path).
+func (c *SetAssoc) bumpAccess(part int) {
+	if c.shared {
+		atomic.AddInt64(&c.total.Accesses, 1)
+		atomic.AddInt64(&c.perPart[part].Accesses, 1)
+		return
+	}
+	c.total.Accesses++
+	c.perPart[part].Accesses++
+}
+
+func (c *SetAssoc) bumpHit(part int) {
+	if c.shared {
+		atomic.AddInt64(&c.total.Hits, 1)
+		atomic.AddInt64(&c.perPart[part].Hits, 1)
+		return
+	}
+	c.total.Hits++
+	c.perPart[part].Hits++
+}
+
+func (c *SetAssoc) bumpMiss(part int) {
+	if c.shared {
+		atomic.AddInt64(&c.total.Misses, 1)
+		atomic.AddInt64(&c.perPart[part].Misses, 1)
+		return
+	}
+	c.total.Misses++
+	c.perPart[part].Misses++
+}
+
+func (c *SetAssoc) bumpBypass(part int) {
+	if c.shared {
+		atomic.AddInt64(&c.total.Bypasses, 1)
+		atomic.AddInt64(&c.perPart[part].Bypasses, 1)
+		return
+	}
+	c.total.Bypasses++
+	c.perPart[part].Bypasses++
+}
+
+// EnableSharedHits switches the array into shared-hits mode, in which
+// AccessShared may resolve hits without the caller's lock. It reports
+// whether the mode could be enabled: the policy must support concurrent
+// hit bookkeeping (policy.ConcurrentHitter) and the scheme's set
+// indexing must be stable (partition.Scheme.StableSetIndex). One-way;
+// call before concurrent traffic starts.
+func (c *SetAssoc) EnableSharedHits() bool {
+	ch, ok := c.pol.(policy.ConcurrentHitter)
+	if !ok || !c.scheme.StableSetIndex() {
+		return false
+	}
+	ch.EnableSharedHits()
+	c.shared = true
+	return true
+}
+
+// AccessShared attempts to resolve one access lock-free and reports
+// (hit, ok). ok=false means the probe could not decide — the array is
+// not in shared mode, a mutation was in flight, or the line was not
+// resident — and the caller must retry under its lock via Access, which
+// then performs the authoritative miss path (fill, eviction hook, byte
+// accounting) exactly as today. On ok=true the access has been fully
+// accounted (stats and recency), byte-identically to the locked path.
+//
+// The window between the seqlock re-check and the recency bump is not
+// closed: a racing eviction can make the bump land on a line that was
+// just replaced. That is a bounded recency approximation (one stamp on
+// one line), never a correctness issue — misses, fills, evictions, and
+// bookkeeping all still happen under the lock.
+func (c *SetAssoc) AccessShared(addr uint64, part int) (hit, ok bool) {
+	if !c.shared {
+		return false, false
+	}
+	s1 := c.seq.Load()
+	if s1&1 != 0 {
+		return false, false // mutation in flight
+	}
+	h := c.idx.Hash(addr)
+	set := c.scheme.SetIndex(h, part)
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		li := base + w
+		if atomic.LoadUint64(&c.tags[li]) == addr && atomic.LoadInt32(&c.owner[li]) >= 0 {
+			if c.seq.Load() != s1 {
+				return false, false // raced a mutation: retry locked
+			}
+			c.bumpAccess(part)
+			c.bumpHit(part)
+			c.pol.Hit(li, policy.AccessContext{Addr: addr, Set: set, Thread: part})
+			return true, true
+		}
+	}
+	return false, false // not resident here: the locked path decides
+}
+
 // Access performs one access on behalf of partition part and reports
 // whether it hit. On a miss the line is filled (unless the policy bypasses
 // or the scheme offers no candidates).
@@ -117,27 +226,27 @@ func (c *SetAssoc) Access(addr uint64, part int) bool {
 	base := set * c.assoc
 	ctx := policy.AccessContext{Addr: addr, Set: set, Thread: part}
 
-	c.total.Accesses++
-	c.perPart[part].Accesses++
+	c.bumpAccess(part)
 
-	// Lookup: scan the set's ways.
-	for w := 0; w < c.assoc; w++ {
-		li := base + w
-		if c.owner[li] >= 0 && c.tags[li] == addr {
-			c.total.Hits++
-			c.perPart[part].Hits++
-			c.pol.Hit(li, ctx)
+	// Lookup: scan the set's ways. Tag first: a 64-bit tag mismatch
+	// rejects a way with one compare, where owner-first pays two loads
+	// on every non-matching way. The sub-slices let the compiler hoist
+	// the bounds checks out of the scan.
+	setTags := c.tags[base : base+c.assoc]
+	setOwners := c.owner[base : base+c.assoc]
+	for w, tag := range setTags {
+		if tag == addr && setOwners[w] >= 0 {
+			c.bumpHit(part)
+			c.pol.Hit(base+w, ctx)
 			return true
 		}
 	}
 
-	c.total.Misses++
-	c.perPart[part].Misses++
+	c.bumpMiss(part)
 
 	cands := c.scheme.Candidates(set, part, c.owner[base:base+c.assoc], c.wayBuf[:0])
 	if len(cands) == 0 {
-		c.total.Bypasses++
-		c.perPart[part].Bypasses++
+		c.bumpBypass(part)
 		return false
 	}
 	// Prefer a free way among the candidates.
@@ -155,8 +264,7 @@ func (c *SetAssoc) Access(addr uint64, part int) bool {
 	}
 	victim := c.pol.Victim(lines, ctx)
 	if victim < 0 {
-		c.total.Bypasses++
-		c.perPart[part].Bypasses++
+		c.bumpBypass(part)
 		return false
 	}
 	c.scheme.OnEvict(int(c.owner[victim]))
@@ -189,7 +297,13 @@ func (c *SetAssoc) Invalidate(addr uint64, part int) bool {
 		li := base + w
 		if c.owner[li] >= 0 && c.tags[li] == addr {
 			c.scheme.OnEvict(int(c.owner[li]))
-			c.owner[li] = -1
+			if c.shared {
+				c.seq.Add(1)
+				atomic.StoreInt32(&c.owner[li], -1)
+				c.seq.Add(1)
+			} else {
+				c.owner[li] = -1
+			}
 			return true
 		}
 	}
@@ -197,8 +311,15 @@ func (c *SetAssoc) Invalidate(addr uint64, part int) bool {
 }
 
 func (c *SetAssoc) fill(li int, addr uint64, part int, ctx policy.AccessContext) {
-	c.tags[li] = addr
-	c.owner[li] = int16(part)
+	if c.shared {
+		c.seq.Add(1)
+		atomic.StoreUint64(&c.tags[li], addr)
+		atomic.StoreInt32(&c.owner[li], int32(part))
+		c.seq.Add(1)
+	} else {
+		c.tags[li] = addr
+		c.owner[li] = int32(part)
+	}
 	c.scheme.OnFill(part)
 	c.pol.Fill(li, ctx)
 }
@@ -232,26 +353,65 @@ func (c *SetAssoc) Scheme() partition.Scheme { return c.scheme }
 func (c *SetAssoc) Policy() policy.Policy { return c.pol }
 
 // Stats returns total access statistics; PartStats returns partition p's.
-func (c *SetAssoc) Stats() Stats          { return c.total }
-func (c *SetAssoc) PartStats(p int) Stats { return c.perPart[p] }
+func (c *SetAssoc) Stats() Stats          { return c.loadStats(&c.total) }
+func (c *SetAssoc) PartStats(p int) Stats { return c.loadStats(&c.perPart[p]) }
+
+func (c *SetAssoc) loadStats(s *Stats) Stats {
+	if !c.shared {
+		return *s
+	}
+	return Stats{
+		Accesses: atomic.LoadInt64(&s.Accesses),
+		Hits:     atomic.LoadInt64(&s.Hits),
+		Misses:   atomic.LoadInt64(&s.Misses),
+		Bypasses: atomic.LoadInt64(&s.Bypasses),
+	}
+}
 
 // ResetStats clears counters without disturbing cache contents, so
 // measurement can begin after warmup.
 func (c *SetAssoc) ResetStats() {
+	if c.shared {
+		for _, s := range append([]*Stats{&c.total}, statPtrs(c.perPart)...) {
+			atomic.StoreInt64(&s.Accesses, 0)
+			atomic.StoreInt64(&s.Hits, 0)
+			atomic.StoreInt64(&s.Misses, 0)
+			atomic.StoreInt64(&s.Bypasses, 0)
+		}
+		return
+	}
 	c.total = Stats{}
 	for i := range c.perPart {
 		c.perPart[i] = Stats{}
 	}
 }
 
+func statPtrs(ss []Stats) []*Stats {
+	out := make([]*Stats, len(ss))
+	for i := range ss {
+		out[i] = &ss[i]
+	}
+	return out
+}
+
 // Flush invalidates all lines and clears policy and occupancy state.
 // The eviction hook, if set, fires for every line that was resident.
 func (c *SetAssoc) Flush() {
+	if c.shared {
+		c.seq.Add(1)
+	}
 	for i := range c.owner {
 		if c.owner[i] >= 0 && c.evict != nil {
 			c.evict(int(c.owner[i]), c.tags[i])
 		}
-		c.owner[i] = -1
+		if c.shared {
+			atomic.StoreInt32(&c.owner[i], -1)
+		} else {
+			c.owner[i] = -1
+		}
+	}
+	if c.shared {
+		c.seq.Add(1)
 	}
 	c.pol.Reset()
 	c.scheme.Reset()

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"talus/internal/hash"
 )
@@ -53,12 +54,78 @@ type ShardedCache struct {
 
 // shardSlot pairs one shard with its lock and router-level counters. The
 // pad keeps hot per-shard state on distinct cache lines so shards do not
-// false-share under concurrent traffic.
+// false-share under concurrent traffic. probe is non-nil once
+// EnableSharedHits succeeded on the backing: Access then tries the
+// lock-free hit path first, and this slot's counters move atomically on
+// every path (the probe updates them outside the lock).
 type shardSlot struct {
 	mu    sync.Mutex
 	c     Shard
+	probe SharedProber
 	stats Stats
 	_     [64]byte
+}
+
+// SharedProber is implemented by shard backings (SetAssoc) that can
+// resolve cache hits without the shard lock. AccessShared reports
+// (hit, ok): ok=false means the probe could not decide (not in shared
+// mode, mutation in flight, or the line is not resident) and the caller
+// must fall back to locked Access, which re-runs the access from
+// scratch. EnableSharedHits switches the backing into shared mode and
+// reports whether it could (policy and scheme permitting); it is one-way
+// and must happen before concurrent traffic.
+type SharedProber interface {
+	EnableSharedHits() bool
+	AccessShared(addr uint64, part int) (hit, ok bool)
+}
+
+// bump moves a slot's router counters for n accesses with the given hit
+// count — atomically once the slot has a lock-free probe, since probes
+// update the same counters without the lock.
+func (sh *shardSlot) bump(n, hits int64) {
+	if sh.probe != nil {
+		atomic.AddInt64(&sh.stats.Accesses, n)
+		atomic.AddInt64(&sh.stats.Hits, hits)
+		atomic.AddInt64(&sh.stats.Misses, n-hits)
+		return
+	}
+	sh.stats.Accesses += n
+	sh.stats.Hits += hits
+	sh.stats.Misses += n - hits
+}
+
+// load snapshots a slot's router counters; the caller holds sh.mu. In
+// shared mode concurrent probes may still be adding, so the fields are
+// loaded atomically (each field exact, the triple approximate — same
+// contract any concurrent counter read has).
+func (sh *shardSlot) load() Stats {
+	if sh.probe == nil {
+		return sh.stats
+	}
+	return Stats{
+		Accesses: atomic.LoadInt64(&sh.stats.Accesses),
+		Hits:     atomic.LoadInt64(&sh.stats.Hits),
+		Misses:   atomic.LoadInt64(&sh.stats.Misses),
+	}
+}
+
+// EnableSharedHits switches every shard whose backing supports it into
+// shared-hits mode and reports whether ALL shards did — the usual case,
+// since shards are built homogeneously. Shards that enabled keep their
+// probe either way (a partially shared cache is merely slower, never
+// wrong). One-way; call before concurrent traffic starts.
+func (s *ShardedCache) EnableSharedHits() bool {
+	all := true
+	for i := range s.shards {
+		sh := &s.shards[i]
+		p, ok := sh.c.(SharedProber)
+		if !ok || !p.EnableSharedHits() {
+			all = false
+			continue
+		}
+		sh.probe = p
+	}
+	return all
 }
 
 // batchScratch is the reusable per-call state of AccessBatch.
@@ -141,14 +208,27 @@ func (s *ShardedCache) Shard(i int) Shard { return s.shards[i].c }
 // and reports whether it hit. Safe for concurrent use.
 func (s *ShardedCache) Access(addr uint64, part int) bool {
 	sh := &s.shards[s.shardOf(addr)]
+	if sh.probe != nil {
+		if hit, ok := sh.probe.AccessShared(addr, part); ok {
+			// The probe fully accounted the access in the backing;
+			// mirror it in the router counters and skip the lock.
+			var h int64
+			if hit {
+				h = 1
+			}
+			atomic.AddInt64(&sh.stats.Accesses, 1)
+			atomic.AddInt64(&sh.stats.Hits, h)
+			atomic.AddInt64(&sh.stats.Misses, 1-h)
+			return hit
+		}
+	}
 	sh.mu.Lock()
 	hit := sh.c.Access(addr, part)
-	sh.stats.Accesses++
+	var h int64
 	if hit {
-		sh.stats.Hits++
-	} else {
-		sh.stats.Misses++
+		h = 1
 	}
+	sh.bump(1, h)
 	sh.mu.Unlock()
 	return hit
 }
@@ -203,9 +283,7 @@ func (s *ShardedCache) AccessBatch(addrs []uint64, parts []int, hits []bool) int
 				nHits++
 			}
 		}
-		sh.stats.Accesses += int64(n)
-		sh.stats.Hits += int64(nHits)
-		sh.stats.Misses += int64(n - nHits)
+		sh.bump(int64(n), int64(nHits))
 		sh.mu.Unlock()
 		return nHits
 	}
@@ -258,10 +336,7 @@ func (s *ShardedCache) AccessBatch(addrs []uint64, parts []int, hits []bool) int
 				shardHits++
 			}
 		}
-		cnt := int64(hi - lo)
-		sh.stats.Accesses += cnt
-		sh.stats.Hits += int64(shardHits)
-		sh.stats.Misses += cnt - int64(shardHits)
+		sh.bump(int64(hi-lo), int64(shardHits))
 		sh.mu.Unlock()
 		nHits += shardHits
 	}
@@ -396,7 +471,7 @@ func (s *ShardedCache) Stats() Stats {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		st := sh.stats
+		st := sh.load()
 		sh.mu.Unlock()
 		total.Accesses += st.Accesses
 		total.Hits += st.Hits
@@ -449,7 +524,7 @@ func (s *ShardedCache) ShardStats(i int) Stats {
 	sh := &s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.stats
+	return sh.load()
 }
 
 // ResetStats clears the router-level counters on every shard.
@@ -457,7 +532,13 @@ func (s *ShardedCache) ResetStats() {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		sh.stats = Stats{}
+		if sh.probe != nil {
+			atomic.StoreInt64(&sh.stats.Accesses, 0)
+			atomic.StoreInt64(&sh.stats.Hits, 0)
+			atomic.StoreInt64(&sh.stats.Misses, 0)
+		} else {
+			sh.stats = Stats{}
+		}
 		sh.mu.Unlock()
 	}
 }

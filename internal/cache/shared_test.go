@@ -1,0 +1,170 @@
+// Tests for shared-hits mode: the lock-free hit probe must change
+// nothing observable — sequential streams produce byte-identical state
+// and stats with the probe on or off, and concurrent probing is
+// race-clean with exact access conservation.
+
+package cache
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"talus/internal/hash"
+	"talus/internal/partition"
+	"talus/internal/policy"
+)
+
+// buildPair returns two identically-seeded SetAssoc caches over the
+// given scheme; the second is switched into shared-hits mode when
+// supported (reported by the bool).
+func buildPair(t *testing.T, mkScheme func() partition.Scheme, factory policy.Factory) (*SetAssoc, *SetAssoc, bool) {
+	t.Helper()
+	locked, err := NewSetAssoc(4096, 16, mkScheme(), factory, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewSetAssoc(4096, 16, mkScheme(), factory, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return locked, shared, shared.EnableSharedHits()
+}
+
+// driveShared replays addrs through c, preferring the probe and falling
+// back to Access exactly as ShardedCache.Access does.
+func driveShared(c *SetAssoc, addrs []uint64, parts []int) int {
+	hits := 0
+	for i, a := range addrs {
+		hit, ok := c.AccessShared(a, parts[i])
+		if !ok {
+			hit = c.Access(a, parts[i])
+		}
+		if hit {
+			hits++
+		}
+	}
+	return hits
+}
+
+// TestSharedHitsMatchesLocked pins the probe's byte-identity: driving
+// the same sequential stream through a locked cache via Access and a
+// shared-mode cache via probe-then-fallback yields identical hit
+// outcomes, stats, and partition occupancies, across every scheme that
+// advertises a stable set index.
+func TestSharedHitsMatchesLocked(t *testing.T) {
+	schemes := map[string]func() partition.Scheme{
+		"none":    func() partition.Scheme { return partition.NewNone(2) },
+		"way":     func() partition.Scheme { return partition.NewWay(2) },
+		"vantage": func() partition.Scheme { return partition.NewVantage(2) },
+	}
+	for name, mk := range schemes {
+		t.Run(name, func(t *testing.T) {
+			locked, shared, ok := buildPair(t, mk, policy.LRUFactory)
+			if !ok {
+				t.Fatalf("EnableSharedHits refused on stable scheme %s", name)
+			}
+			rng := hash.NewSplitMix64(0xFEED)
+			const n = 200000
+			addrs := make([]uint64, n)
+			parts := make([]int, n)
+			for i := range addrs {
+				addrs[i] = rng.Next() % 30000 // ~½ the capacity: plenty of hits and evictions
+				parts[i] = int(rng.Next() % 2)
+			}
+			lockedHits := 0
+			for i, a := range addrs {
+				if locked.Access(a, parts[i]) {
+					lockedHits++
+				}
+			}
+			sharedHits := driveShared(shared, addrs, parts)
+			if lockedHits != sharedHits {
+				t.Fatalf("hits: locked %d != shared %d", lockedHits, sharedHits)
+			}
+			if ls, ss := locked.Stats(), shared.Stats(); ls != ss {
+				t.Fatalf("stats: locked %+v != shared %+v", ls, ss)
+			}
+			for p := 0; p < 2; p++ {
+				if ls, ss := locked.PartStats(p), shared.PartStats(p); ls != ss {
+					t.Fatalf("part %d stats: locked %+v != shared %+v", p, ls, ss)
+				}
+			}
+			// Tag arrays must match line for line: the probe may not have
+			// perturbed placement at all.
+			for li := range locked.tags {
+				if locked.owner[li] != shared.owner[li] ||
+					(locked.owner[li] >= 0 && locked.tags[li] != shared.tags[li]) {
+					t.Fatalf("line %d diverged: locked (%d,%x) shared (%d,%x)",
+						li, locked.owner[li], locked.tags[li], shared.owner[li], shared.tags[li])
+				}
+			}
+		})
+	}
+}
+
+// TestSharedHitsRefusals checks the gate: unstable schemes (set
+// partitioning's movable ranges) and non-concurrent policies must keep
+// the probe off, and an un-enabled cache must never claim ok.
+func TestSharedHitsRefusals(t *testing.T) {
+	c, err := NewSetAssoc(1024, 8, partition.NewSet(2), policy.LRUFactory, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.EnableSharedHits() {
+		t.Fatal("EnableSharedHits accepted set partitioning (unstable SetIndex)")
+	}
+	if _, ok := c.AccessShared(42, 0); ok {
+		t.Fatal("AccessShared claimed ok without shared mode")
+	}
+}
+
+// TestSharedHitsConcurrent hammers the probe under -race: goroutines
+// drive overlapping hot streams through AccessShared with locked
+// fallback (serialized by a mutex, as ShardedCache does per shard) while
+// invalidations run. Access conservation must hold exactly.
+func TestSharedHitsConcurrent(t *testing.T) {
+	c, err := NewSetAssoc(4096, 16, partition.NewVantage(2), policy.LRUFactory, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.EnableSharedHits() {
+		t.Fatal("EnableSharedHits refused")
+	}
+	var mu sync.Mutex // stands in for the shard lock
+	const (
+		workers = 8
+		perG    = 40000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := hash.NewSplitMix64(uint64(g)*0x9E37 + 1)
+			for i := 0; i < perG; i++ {
+				addr := rng.Next() % 2000 // hot: mostly probe hits
+				p := int(rng.Next() % 2)
+				if _, ok := c.AccessShared(addr, p); !ok {
+					mu.Lock()
+					c.Access(addr, p)
+					mu.Unlock()
+				}
+				if i%997 == 0 {
+					mu.Lock()
+					c.Invalidate(rng.Next()%2000, p)
+					mu.Unlock()
+				}
+			}
+			runtime.Gosched()
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Accesses != workers*perG {
+		t.Fatalf("accesses %d, want %d", st.Accesses, workers*perG)
+	}
+	if st.Hits+st.Misses != st.Accesses {
+		t.Fatalf("hits %d + misses %d != accesses %d", st.Hits, st.Misses, st.Accesses)
+	}
+}

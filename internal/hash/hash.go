@@ -133,10 +133,21 @@ func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
 // Next returns the next 64 pseudo-random bits.
 func (s *SplitMix64) Next() uint64 {
 	s.state += 0x9E3779B97F4A7C15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
+	return Mix64(s.state)
+}
+
+// Mix64 applies the splitmix64 finalizer to x: a fast, bijective mix
+// with full avalanche into every output bit. Unlike the H3 family —
+// which is linear over GF(2), so linear relations among input bits
+// survive into every output bit — Mix64's multiplies destroy linear
+// structure. That matters when two hashes of the *same* address feed a
+// comparison and an index (the monitor bank's sampling filter and set
+// index): if both were H3 members, an unlucky seed pair can make the
+// sampled subset systematically unbalanced across sets.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // Uint64n returns a uniform value in [0, n). n must be positive.

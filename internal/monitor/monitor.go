@@ -73,26 +73,55 @@ func (u *UMON) ObserveHashed(addr, hashVal uint64) {
 	if hashVal >= u.thresh {
 		return
 	}
+	u.observeAt(addr, hash.Reduce(u.setH.Hash(addr), u.sets))
+}
+
+// observeIn is the bank-driven observation path: the sampling hash and
+// the bank-level set hash are computed once per access by the caller;
+// this array filters on its own threshold and reduces the shared set
+// value to its own set count. Because every array's set count is a power
+// of two and Reduce is multiply-shift, the resulting index is a prefix
+// of the shared value's top bits — the property the sliced monitor's
+// set-partitioning relies on.
+func (u *UMON) observeIn(addr, hashVal, setVal uint64) {
+	if hashVal >= u.thresh {
+		return
+	}
+	u.observeAt(addr, hash.Reduce(setVal, u.sets))
+}
+
+// observeAt performs the sampled LRU stack walk on a precomputed set.
+func (u *UMON) observeAt(addr uint64, set int) {
 	u.accesses++
-	set := hash.Reduce(u.setH.Hash(addr), u.sets)
-	tags := u.tags[set]
-	n := u.sizes[set]
+	d, n := stackWalk(u.tags[set], u.sizes[set], u.ways, addr)
+	u.sizes[set] = n
+	if d >= 0 {
+		u.hitCtr[d]++
+	} else {
+		u.misses++
+	}
+}
+
+// stackWalk performs one MRU-first LRU stack access on a single set's tag
+// array: hit moves the tag to MRU and returns its depth; miss inserts at
+// MRU (growing the valid count up to ways, silently dropping the LRU tag
+// once full) and returns depth -1. Shared by UMON and the epoch-sliced
+// monitor so the two walks cannot drift apart.
+func stackWalk(tags []uint64, n, ways int, addr uint64) (depth, newN int) {
 	for d := 0; d < n; d++ {
 		if tags[d] == addr {
-			u.hitCtr[d]++
 			copy(tags[1:d+1], tags[:d])
 			tags[0] = addr
-			return
+			return d, n
 		}
 	}
-	u.misses++
-	if n < u.ways {
-		u.sizes[set] = n + 1
-	} else {
-		n = u.ways - 1
+	if n < ways {
+		n++
 	}
-	copy(tags[1:n+1], tags[:n])
+	m := n - 1
+	copy(tags[1:m+1], tags[:m])
 	tags[0] = addr
+	return -1, n
 }
 
 // ModeledCapacity returns the cache size in lines this monitor's deepest
@@ -108,17 +137,25 @@ func (u *UMON) SampledAccesses() int64 { return u.accesses }
 // (0, all-miss) plus one point per way depth. kiloInstr is the number of
 // kilo-instructions over which the monitor observed the stream.
 func (u *UMON) Points(kiloInstr float64) []curve.Point {
-	if kiloInstr <= 0 || u.accesses == 0 {
+	return stackPoints(u.accesses, u.hitCtr, u.ways, u.rate, u.ModeledCapacity(), kiloInstr)
+}
+
+// stackPoints converts sampled LRU stack counters to full-stream
+// miss-curve points — the single place the counter→curve float math
+// lives, so UMON.Points and the epoch-sliced monitor's merged
+// accumulators produce bit-identical curves from identical counters.
+func stackPoints(accesses int64, hitCtr []int64, ways int, rate float64, modeledCap int64, kiloInstr float64) []curve.Point {
+	if kiloInstr <= 0 || accesses == 0 {
 		return nil
 	}
-	scale := 1 / u.rate / kiloInstr
-	total := float64(u.accesses)
-	pts := make([]curve.Point, 0, u.ways+1)
+	scale := 1 / rate / kiloInstr
+	total := float64(accesses)
+	pts := make([]curve.Point, 0, ways+1)
 	pts = append(pts, curve.Point{Size: 0, MPKI: total * scale})
-	wayLines := float64(u.ModeledCapacity()) / float64(u.ways)
+	wayLines := float64(modeledCap) / float64(ways)
 	cumHits := 0.0
-	for d := 0; d < u.ways; d++ {
-		cumHits += float64(u.hitCtr[d])
+	for d := 0; d < ways; d++ {
+		cumHits += float64(hitCtr[d])
 		pts = append(pts, curve.Point{
 			Size: wayLines * float64(d+1),
 			MPKI: (total - cumHits) * scale,
@@ -178,11 +215,13 @@ func (u *UMON) Reset() {
 // is often a small fraction of the LLC and the conventional monitor's
 // LLC/64 granularity would smear any cliff there.
 type LRUMonitor struct {
-	h      *hash.H3 // sampling hash shared by all three arrays
-	sub    *UMON
-	fine   *UMON
-	coarse *UMON
-	llc    int64
+	h         *hash.H3 // sampling hash shared by all three arrays
+	setSeed   uint64   // set-index mix seed shared by all three arrays
+	maxThresh uint64   // loosest array threshold: early-out bound
+	sub       *UMON
+	fine      *UMON
+	coarse    *UMON
+	llc       int64
 }
 
 // Monitor geometry. The paper's hardware UMON is 16 sets × 64 ways (1K
@@ -229,43 +268,108 @@ func arrayGeometry(modeledLines int64, ways int) (sets int, rate float64) {
 	return sets, rate
 }
 
+// arraySpec is one bank array's derived configuration: geometry, sampling
+// rate/threshold, and the capacity its deepest way-point models. Both the
+// classic LRUMonitor bank and the epoch-sliced monitor are built from the
+// same specs so their sampling decisions and curve scales agree exactly.
+type arraySpec struct {
+	sets, ways int
+	rate       float64
+	thresh     uint64
+	modeled    int64
+}
+
+// bankSpecs derives the three arrays' specs (sub, fine, coarse) for an
+// LLC of llcLines.
+func bankSpecs(llcLines int64) [3]arraySpec {
+	var specs [3]arraySpec
+	modeled := [3]int64{llcLines / coverageFactor, llcLines, coverageFactor * llcLines}
+	ways := [3]int{umonWays, umonWays, umonCoarseWays}
+	for i := range specs {
+		sets, rate := arrayGeometry(modeled[i], ways[i])
+		specs[i] = arraySpec{
+			sets: sets, ways: ways[i], rate: rate,
+			thresh:  rateToThreshold(rate),
+			modeled: int64(float64(sets*ways[i]) / rate),
+		}
+	}
+	return specs
+}
+
+// bankSeeds returns the per-array H3 seeds for a bank built from seed,
+// in spec order (sub, fine, coarse).
+func bankSeeds(seed uint64) [3]uint64 {
+	return [3]uint64{seed ^ 0x5B5B, seed, seed ^ 0xC0A25E}
+}
+
+// Bank-level hash seeds: the sampling hash every array's threshold is
+// compared against, and the shared set-index mix each array reduces to
+// its own set count.
+const (
+	bankSampleSeed = 0x5EED
+	bankSetSeed    = 0xB5E75
+)
+
+// bankSetValue computes the bank's shared 64-bit set value for an
+// address: a nonlinear Mix64, deliberately NOT an H3 member. The
+// sampling filter (hv < thresh) is an H3 hash of the same address;
+// H3 is GF(2)-linear, so if the set index were too, an unlucky seed
+// pair could make the set-index bits linear functions of the
+// sampling-comparison bits — systematically starving or flooding
+// individual sets with sampled addresses and smearing measured cliffs.
+// Every array reduces this one value to its own power-of-two set count,
+// so array set indices are nested bit prefixes of it — the property the
+// epoch-sliced monitor partitions sets on.
+func bankSetValue(addr, setSeed uint64) uint64 {
+	return hash.Mix64(addr ^ setSeed)
+}
+
 // NewLRUMonitor builds the monitor bank for an LLC of llcLines.
 func NewLRUMonitor(llcLines int64, seed uint64) (*LRUMonitor, error) {
 	if llcLines <= 0 {
 		return nil, fmt.Errorf("monitor: bad LLC size %d", llcLines)
 	}
-	subSets, subRate := arrayGeometry(llcLines/coverageFactor, umonWays)
-	fineSets, fineRate := arrayGeometry(llcLines, umonWays)
-	coarseSets, coarseRate := arrayGeometry(coverageFactor*llcLines, umonCoarseWays)
-	sub, err := NewUMON(subSets, umonWays, subRate, seed^0x5B5B)
-	if err != nil {
-		return nil, err
+	specs := bankSpecs(llcLines)
+	seeds := bankSeeds(seed)
+	var arrs [3]*UMON
+	for i, sp := range specs {
+		u, err := NewUMON(sp.sets, sp.ways, sp.rate, seeds[i])
+		if err != nil {
+			return nil, err
+		}
+		arrs[i] = u
 	}
-	fine, err := NewUMON(fineSets, umonWays, fineRate, seed)
-	if err != nil {
-		return nil, err
+	m := &LRUMonitor{
+		h:       hash.NewH3(seed^bankSampleSeed, 64),
+		setSeed: hash.Mix64(seed ^ bankSetSeed),
+		sub:     arrs[0], fine: arrs[1], coarse: arrs[2], llc: llcLines,
 	}
-	coarse, err := NewUMON(coarseSets, umonCoarseWays, coarseRate, seed^0xC0A25E)
-	if err != nil {
-		return nil, err
+	for _, sp := range specs {
+		if sp.thresh > m.maxThresh {
+			m.maxThresh = sp.thresh
+		}
 	}
-	return &LRUMonitor{
-		h:   hash.NewH3(seed^0x5EED, 64),
-		sub: sub, fine: fine, coarse: coarse, llc: llcLines,
-	}, nil
+	return m, nil
 }
 
 // Observe feeds one access to all three arrays, hashing the address once
-// with the bank's shared sampling hash and fanning the value out (the
-// arrays' thresholds differ, their hash no longer does). The arrays'
-// sampled sets nest — coarse ⊆ fine ⊆ sub — which Theorem 4 permits; the
-// saving is two of the three per-access H3 hashes the monitor bank used
-// to burn on the datapath.
+// with the bank's shared sampling hash and once with the shared set-index
+// mix, and fanning both values out (the arrays' thresholds and set
+// counts differ, their hashes no longer do). The arrays' sampled sets
+// nest — coarse ⊆ fine ⊆ sub — which Theorem 4 permits, and because every
+// set count is a power of two the shared set value reduces to nested
+// set-index prefixes, the property the epoch-sliced monitor partitions
+// on. Addresses outside even the loosest threshold exit before any
+// per-array work.
 func (m *LRUMonitor) Observe(addr uint64) {
 	hv := m.h.Hash(addr)
-	m.sub.ObserveHashed(addr, hv)
-	m.fine.ObserveHashed(addr, hv)
-	m.coarse.ObserveHashed(addr, hv)
+	if hv >= m.maxThresh {
+		return
+	}
+	sv := bankSetValue(addr, m.setSeed)
+	m.sub.observeIn(addr, hv, sv)
+	m.fine.observeIn(addr, hv, sv)
+	m.coarse.observeIn(addr, hv, sv)
 }
 
 // ObserveBatch feeds a batch of accesses, in order. It is byte-identical
@@ -275,9 +379,13 @@ func (m *LRUMonitor) Observe(addr uint64) {
 func (m *LRUMonitor) ObserveBatch(addrs []uint64) {
 	for _, addr := range addrs {
 		hv := m.h.Hash(addr)
-		m.sub.ObserveHashed(addr, hv)
-		m.fine.ObserveHashed(addr, hv)
-		m.coarse.ObserveHashed(addr, hv)
+		if hv >= m.maxThresh {
+			continue
+		}
+		sv := bankSetValue(addr, m.setSeed)
+		m.sub.observeIn(addr, hv, sv)
+		m.fine.observeIn(addr, hv, sv)
+		m.coarse.observeIn(addr, hv, sv)
 	}
 }
 
@@ -286,9 +394,17 @@ func (m *LRUMonitor) ObserveBatch(addrs []uint64) {
 // forced non-increasing (LRU's stack property guarantees monotonicity;
 // sampling noise between the arrays must not manufacture fake cliffs).
 func (m *LRUMonitor) Curve(kiloInstr float64) (*curve.Curve, error) {
-	subPts := m.sub.Points(kiloInstr)
-	finePts := m.fine.Points(kiloInstr)
-	coarsePts := m.coarse.Points(kiloInstr)
+	return assembleCurve(
+		m.sub.Points(kiloInstr),
+		m.fine.Points(kiloInstr),
+		m.coarse.Points(kiloInstr),
+	)
+}
+
+// assembleCurve merges the three arrays' point sets (sub, fine, coarse)
+// into one monotone curve — shared by LRUMonitor and the epoch-sliced
+// monitor so merged counters assemble exactly like live ones.
+func assembleCurve(subPts, finePts, coarsePts []curve.Point) (*curve.Curve, error) {
 	if subPts == nil && finePts == nil && coarsePts == nil {
 		return nil, fmt.Errorf("monitor: no observations")
 	}
@@ -324,6 +440,18 @@ func (m *LRUMonitor) Curve(kiloInstr float64) (*curve.Curve, error) {
 		}
 	}
 	return curve.New(pts)
+}
+
+// HistogramSnapshot returns copies of the three arrays' hit histograms
+// in bank order (sub, fine, coarse) plus their sampled access counts —
+// the counterpart of SlicedEpochMonitor.HistogramSnapshot, used by the
+// byte-identity tests.
+func (m *LRUMonitor) HistogramSnapshot() (hists [3][]int64, accesses [3]int64) {
+	for i, u := range [3]*UMON{m.sub, m.fine, m.coarse} {
+		hists[i] = append([]int64(nil), u.hitCtr...)
+		accesses[i] = u.accesses
+	}
+	return hists, accesses
 }
 
 // ResetCounters starts a new measurement interval (tags stay warm).

@@ -1,0 +1,242 @@
+package monitor
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"talus/internal/hash"
+)
+
+// feedEpochs drives the same phased stream through both monitors with
+// epochs closed at the same boundaries, returning the curves from each
+// epoch. The stream mixes a cyclic scan with random reuse so every array
+// sees hits at several depths and the EWMA decay truncation is exercised
+// on non-trivial counter values.
+func feedEpochs(t *testing.T, em *EpochMonitor, sm *SlicedEpochMonitor, epochs, perEpoch int, seed uint64) {
+	t.Helper()
+	rng := hash.NewSplitMix64(seed)
+	for e := 0; e < epochs; e++ {
+		addrs := make([]uint64, perEpoch)
+		for i := range addrs {
+			if i%3 == 0 {
+				addrs[i] = uint64((e*perEpoch + i) % 5000) // scan
+			} else {
+				addrs[i] = 1 << 20 * (rng.Next()%4096 + 1) // random reuse
+			}
+		}
+		// Mix the entry points: batch on one side, singles on the other,
+		// alternating — all four paths must agree.
+		if e%2 == 0 {
+			em.ObserveBatch(addrs)
+			for _, a := range addrs {
+				sm.Observe(a)
+			}
+		} else {
+			for _, a := range addrs {
+				em.Observe(a)
+			}
+			sm.ObserveBatch(addrs)
+		}
+
+		eh, ea := em.Monitor().HistogramSnapshot()
+		sh, sa := sm.HistogramSnapshot()
+		for i := range eh {
+			if ea[i] != sa[i] {
+				t.Fatalf("epoch %d array %d: accesses %d (single) != %d (sliced)", e, i, ea[i], sa[i])
+			}
+			for d := range eh[i] {
+				if eh[i][d] != sh[i][d] {
+					t.Fatalf("epoch %d array %d depth %d: hits %d (single) != %d (sliced)", e, i, d, eh[i][d], sh[i][d])
+				}
+			}
+		}
+
+		ec, eErr := em.EpochCurve(float64(perEpoch))
+		sc, sErr := sm.EpochCurve(float64(perEpoch))
+		if (eErr == nil) != (sErr == nil) {
+			t.Fatalf("epoch %d: error mismatch: single=%v sliced=%v", e, eErr, sErr)
+		}
+		if eErr != nil {
+			continue
+		}
+		ep, sp := ec.Points(), sc.Points()
+		if len(ep) != len(sp) {
+			t.Fatalf("epoch %d: %d points (single) != %d (sliced)", e, len(ep), len(sp))
+		}
+		for i := range ep {
+			if ep[i].Size != sp[i].Size || math.Float64bits(ep[i].MPKI) != math.Float64bits(sp[i].MPKI) {
+				t.Fatalf("epoch %d point %d: single=%+v sliced=%+v", e, i, ep[i], sp[i])
+			}
+		}
+	}
+}
+
+// TestSlicedMatchesEpoch pins the tentpole's core identity: a
+// SlicedEpochMonitor fed any stream produces, at every epoch boundary,
+// bit-identical hit histograms, sampled-access counts, and curves to an
+// EpochMonitor fed the same stream — across EWMA decay, warm tags, and
+// both batch and single entry points.
+func TestSlicedMatchesEpoch(t *testing.T) {
+	for _, llc := range []int64{2048, 16384, 131072} {
+		for _, slices := range []int{1, 2, 8, 64} {
+			em, err := NewEpochMonitor(llc, DefaultRetain, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sm, err := NewSlicedEpochMonitor(llc, DefaultRetain, 42, slices)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedEpochs(t, em, sm, 6, 20000, 0xABCD+uint64(llc)+uint64(slices))
+		}
+	}
+}
+
+// TestSlicedSliceClamp checks the slice count is clamped to the smallest
+// array's set count and rounded down to a power of two.
+func TestSlicedSliceClamp(t *testing.T) {
+	// llc 2048: sub array models 512 lines → geometry sheds sets.
+	sm, err := NewSlicedEpochMonitor(2048, 0, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := bankSpecs(2048)
+	minSets := specs[0].sets
+	for _, sp := range specs[1:] {
+		if sp.sets < minSets {
+			minSets = sp.sets
+		}
+	}
+	if sm.Slices() > minSets {
+		t.Fatalf("slices %d > min sets %d", sm.Slices(), minSets)
+	}
+	if n := sm.Slices(); n&(n-1) != 0 {
+		t.Fatalf("slices %d not a power of two", n)
+	}
+	if sm2, _ := NewSlicedEpochMonitor(1<<20, 0, 1, 6); sm2.Slices() != 4 {
+		t.Fatalf("slices = %d, want 6 rounded down to 4", sm2.Slices())
+	}
+}
+
+// TestSlicedConcurrentMatchesSequential drives the sliced monitor from
+// many goroutines — each feeding a stream pre-filtered to a single
+// slice, so every set's access order is deterministic even under racing
+// schedulers — and requires the merged histograms to be byte-identical
+// to a single EpochMonitor fed the same streams sequentially. Run with
+// -race this also hammers the slice-locking discipline.
+func TestSlicedConcurrentMatchesSequential(t *testing.T) {
+	const llc = 65536
+	em, err := NewEpochMonitor(llc, DefaultRetain, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewSlicedEpochMonitor(llc, DefaultRetain, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition a shared address stream by owning slice.
+	perSlice := make([][]uint64, sm.Slices())
+	rng := hash.NewSplitMix64(99)
+	for i := 0; i < 1<<17; i++ {
+		addr := rng.Next() % 60000
+		hv := sm.h.Hash(addr)
+		if hv >= sm.maxThresh {
+			continue // would be filtered; keep streams compact
+		}
+		si := sm.sliceOf(bankSetValue(addr, sm.setSeed))
+		perSlice[si] = append(perSlice[si], addr)
+	}
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for si := range perSlice {
+			wg.Add(1)
+			go func(stream []uint64) {
+				defer wg.Done()
+				// Ragged batches exercise both entry points concurrently.
+				for i := 0; i < len(stream); {
+					n := 64 + i%129
+					if i+n > len(stream) {
+						n = len(stream) - i
+					}
+					if i%2 == 0 {
+						sm.ObserveBatch(stream[i : i+n])
+					} else {
+						for _, a := range stream[i : i+n] {
+							sm.Observe(a)
+						}
+					}
+					i += n
+					runtime.Gosched()
+				}
+			}(perSlice[si])
+		}
+		wg.Wait()
+		for _, stream := range perSlice {
+			em.ObserveBatch(stream)
+		}
+		eh, ea := em.Monitor().HistogramSnapshot()
+		sh, sa := sm.HistogramSnapshot()
+		for i := range eh {
+			if ea[i] != sa[i] {
+				t.Fatalf("round %d array %d: accesses %d (single) != %d (sliced)", r, i, ea[i], sa[i])
+			}
+			for d := range eh[i] {
+				if eh[i][d] != sh[i][d] {
+					t.Fatalf("round %d array %d depth %d: hits %d (single) != %d (sliced)", r, i, d, eh[i][d], sh[i][d])
+				}
+			}
+		}
+		// Decay between rounds so warm-tag + EWMA state carries over.
+		if _, err := em.EpochCurve(1000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sm.EpochCurve(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSlicedObserveDuringEpochCurve races observers against epoch
+// drains; under -race this pins that EpochCurve's drain and concurrent
+// Observe/ObserveBatch are properly synchronized. Timing decides which
+// epoch a racing access lands in, so the assertion is race-cleanliness
+// plus a well-formed curve, not specific counter values.
+func TestSlicedObserveDuringEpochCurve(t *testing.T) {
+	sm, err := NewSlicedEpochMonitor(65536, 0.99, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := hash.NewSplitMix64(uint64(g) * 977)
+			batch := make([]uint64, 128)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range batch {
+					batch[i] = rng.Next() % 50000
+				}
+				sm.ObserveBatch(batch)
+			}
+		}(g)
+	}
+	for e := 0; e < 50; e++ {
+		c, err := sm.EpochCurve(10000)
+		if err == nil && len(c.Points()) == 0 {
+			t.Fatal("empty curve from non-empty monitor")
+		}
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -151,7 +151,7 @@ func TestVantageSelectsOverQuota(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		s.OnFill(1)
 	}
-	owners := []int16{0, 0, 1, 1}
+	owners := []int32{0, 0, 1, 1}
 	cands := s.Candidates(0, 1, owners, nil)
 	for _, w := range cands {
 		if owners[w] != 0 {
@@ -168,7 +168,7 @@ func TestVantagePrefersFreeWays(t *testing.T) {
 	if err := s.SetTargets([]int64{7, 7}); err != nil {
 		t.Fatal(err)
 	}
-	owners := []int16{0, -1, 1, -1}
+	owners := []int32{0, -1, 1, -1}
 	cands := s.Candidates(0, 0, owners, nil)
 	if len(cands) != 2 {
 		t.Fatalf("free-way candidates = %v", cands)
@@ -190,7 +190,7 @@ func TestVantageAllUnderQuota(t *testing.T) {
 	}
 	s.OnFill(0)
 	s.OnFill(1)
-	owners := []int16{0, 0, 1, 1}
+	owners := []int32{0, 0, 1, 1}
 	cands := s.Candidates(0, 0, owners, nil)
 	if len(cands) != 4 {
 		t.Fatalf("under-quota fallback should allow all ways, got %v", cands)
@@ -283,7 +283,7 @@ func TestFutilityFullyPartitionable(t *testing.T) {
 	if err := s.SetTargets([]int64{0, 64}); err != nil {
 		t.Fatal(err)
 	}
-	if cands := s.Candidates(0, 0, []int16{1, 1, 1, 1}, nil); len(cands) != 0 {
+	if cands := s.Candidates(0, 0, []int32{1, 1, 1, 1}, nil); len(cands) != 0 {
 		t.Fatalf("zero-target fill should bypass, got %v", cands)
 	}
 }

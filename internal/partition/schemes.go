@@ -22,8 +22,11 @@ func (s *None) Name() string { return "none" }
 // SetIndex implements Scheme: plain hashed indexing.
 func (s *None) SetIndex(hashVal uint64, _ int) int { return hash.Reduce(hashVal, s.sets) }
 
+// StableSetIndex implements Scheme: plain hashed indexing never moves.
+func (s *None) StableSetIndex() bool { return true }
+
 // Candidates implements Scheme: every way is eligible.
-func (s *None) Candidates(_, _ int, _ []int16, buf []int) []int {
+func (s *None) Candidates(_, _ int, _ []int32, buf []int) []int {
 	return allWays(s.assoc, buf)
 }
 
@@ -71,8 +74,11 @@ func (s *Way) Configure(sets, assoc int) error {
 // SetIndex implements Scheme.
 func (s *Way) SetIndex(hashVal uint64, _ int) int { return hash.Reduce(hashVal, s.sets) }
 
+// StableSetIndex implements Scheme: way repartitioning never remaps sets.
+func (s *Way) StableSetIndex() bool { return true }
+
 // Candidates implements Scheme: only the partition's own ways.
-func (s *Way) Candidates(_, p int, _ []int16, buf []int) []int {
+func (s *Way) Candidates(_, p int, _ []int32, buf []int) []int {
 	for w := s.startWay[p]; w < s.startWay[p+1]; w++ {
 		buf = append(buf, w)
 	}
@@ -151,9 +157,13 @@ func (s *Set) SetIndex(hashVal uint64, p int) int {
 	return s.startSet[p] + hash.Reduce(hashVal, count)
 }
 
+// StableSetIndex implements Scheme: set ranges move on SetTargets, so
+// unlocked readers must not compute set indices here.
+func (s *Set) StableSetIndex() bool { return false }
+
 // Candidates implements Scheme: all ways of the (partition-local) set, or
 // none if the partition owns no sets.
-func (s *Set) Candidates(_, p int, _ []int16, buf []int) []int {
+func (s *Set) Candidates(_, p int, _ []int32, buf []int) []int {
 	if s.startSet[p+1]-s.startSet[p] <= 0 {
 		return buf[:0]
 	}
@@ -239,6 +249,10 @@ func (s *Vantage) Configure(sets, assoc int) error {
 // sets).
 func (s *Vantage) SetIndex(hashVal uint64, _ int) int { return hash.Reduce(hashVal, s.sets) }
 
+// StableSetIndex implements Scheme: partitions share all sets under a
+// fixed hash; only victim choice depends on mutable targets.
+func (s *Vantage) StableSetIndex() bool { return true }
+
 // Candidates implements Scheme, enforcing sizes the way Vantage's
 // demotion logic does, in priority order:
 //
@@ -256,7 +270,7 @@ func (s *Vantage) SetIndex(hashVal uint64, _ int) int { return hash.Reduce(hashV
 //     collide in a hot set, the globally oldest line leaves, spreading
 //     conflict misses evenly instead of pinning them on one partition
 //     (Vantage's high-associativity zcache does the equivalent).
-func (s *Vantage) Candidates(_, p int, owners []int16, buf []int) []int {
+func (s *Vantage) Candidates(_, p int, owners []int32, buf []int) []int {
 	if s.targets[p] <= 0 {
 		return buf[:0] // rule 1: zero-size partitions bypass
 	}
@@ -268,23 +282,31 @@ func (s *Vantage) Candidates(_, p int, owners []int16, buf []int) []int {
 	if len(buf) > 0 {
 		return buf
 	}
-	victim := -1
-	var worst float64
-	for _, o := range owners { // rule 3: most over-quota resident partition
+	// Rule 3: most over-quota resident partition. Overage occ/target is
+	// ranked by integer cross-multiplication — no division on the miss
+	// path. Products fit int easily (both factors are line counts).
+	occ, targets := s.occ, s.targets
+	victim, vOcc, vTgt := -1, int64(0), int64(1)
+	vZero := false // victim has a zero target: maximal overage class
+	for _, o := range owners {
 		q := int(o)
-		t := s.targets[q]
-		var ratio float64
-		if t <= 0 {
-			if s.occ[q] == 0 {
-				continue
-			}
-			ratio = float64(s.occ[q]) * 1e9 // any occupancy over a zero target is maximal overage
-		} else {
-			ratio = float64(s.occ[q]) / float64(t)
+		if q == victim {
+			continue
 		}
-		if ratio > 1 && ratio > worst {
-			worst = ratio
-			victim = q
+		oc, t := occ[q], targets[q]
+		if t <= 0 {
+			// Any occupancy over a zero target is maximal overage; rank
+			// zero-target partitions among themselves by occupancy.
+			if oc > 0 && (!vZero || oc > vOcc) {
+				victim, vOcc, vTgt, vZero = q, oc, 1, true
+			}
+			continue
+		}
+		if vZero || oc <= t { // over-quota means occ > target
+			continue
+		}
+		if oc*vTgt > vOcc*t {
+			victim, vOcc, vTgt = q, oc, t
 		}
 	}
 	if victim < 0 {

@@ -33,6 +33,7 @@ package store
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -71,16 +72,33 @@ var opPool = sync.Pool{New: func() any {
 	return &batchOp{msg: make(chan opMsg, 1)}
 }}
 
-// lane is one tenant's combiner state. The invariant tying it together:
-// pending is non-empty only while active, and exactly one goroutine (the
-// combiner) runs flushes at a time, so the scratch buffers below need no
-// lock of their own — ownership passes with the opLead message.
+// lane is one tenant's combiner state. state is the lane's claim word:
+// an idle→active CAS outside the mutex is the uncontended fast path (a
+// solo request claims the lane and flushes itself with no lock traffic
+// at all), while parking and release go through mu. The invariant that
+// prevents lost wakeups: state returns to idle only under mu with
+// pending empty, and requests append to pending only under mu after
+// their own idle→active CAS failed — so a combiner's release either
+// sees a parked op (and promotes it) or makes the lane claimable again,
+// never neither.
 type lane struct {
+	state   atomic.Int32 // laneIdle or laneActive
 	mu      sync.Mutex
-	active  bool
 	pending []*batchOp
+}
 
-	// Combiner-only scratch, reused across flushes.
+const (
+	laneIdle int32 = iota
+	laneActive
+)
+
+// flushScratch is the combiner-only working set of one flush: the chunk
+// being coalesced and the address/outcome arrays handed to AccessBatch.
+// Scratch is pooled at the store level rather than held per lane, so a
+// store with many mostly-idle tenants keeps a handful of warm buffers
+// (one per concurrently-flushing combiner) instead of one set per
+// tenant, and group commit stays zero-alloc under tenant churn.
+type flushScratch struct {
 	chunk []*batchOp
 	addrs []uint64
 	hits  []bool
@@ -90,27 +108,33 @@ type lane struct {
 // disabled, straight through the datapath) and reports the simulated
 // cache outcome.
 func (s *Store) access(t *tenant, addr uint64) bool {
-	if s.batchSize <= 1 {
+	if s.noBatch {
 		return s.accessDirect(t, addr)
 	}
 	l := &t.lane
-	l.mu.Lock()
-	if l.active {
-		o := opPool.Get().(*batchOp)
-		o.addr = addr
-		l.pending = append(l.pending, o)
-		l.mu.Unlock()
-		return s.waitParked(t, l, o)
+	if l.state.CompareAndSwap(laneIdle, laneActive) {
+		// Solo fast path: the lane was idle, so pending was empty and
+		// this request is a batch of one — the direct datapath, no op
+		// allocation, no lock, no added latency. Requests arriving
+		// before finishCombine park and form the next (real) batch.
+		hit := s.accessDirect(t, addr)
+		s.finishCombine(t, l)
+		return hit
 	}
-	l.active = true
+	l.mu.Lock()
+	if l.state.CompareAndSwap(laneIdle, laneActive) {
+		// The combiner released between our first CAS and the lock:
+		// claim the lane after all and take the solo path.
+		l.mu.Unlock()
+		hit := s.accessDirect(t, addr)
+		s.finishCombine(t, l)
+		return hit
+	}
+	o := opPool.Get().(*batchOp)
+	o.addr = addr
+	l.pending = append(l.pending, o)
 	l.mu.Unlock()
-	// Solo fast path: the lane was idle, so pending was empty and this
-	// request is a batch of one — the direct datapath, no op allocation,
-	// no added latency. Requests arriving before finishCombine park and
-	// form the next (real) batch.
-	hit := s.accessDirect(t, addr)
-	s.finishCombine(t, l)
-	return hit
+	return s.waitParked(t, l, o)
 }
 
 // combine flushes one chunk — the promoted op plus up to BatchSize-1
@@ -129,8 +153,9 @@ func (s *Store) combine(t *tenant, l *lane, own *batchOp) bool {
 		return hit
 	}
 	n := min(len(l.pending), s.batchSize-1)
-	l.chunk = append(l.chunk[:0], own)
-	l.chunk = append(l.chunk, l.pending[:n]...)
+	sc := s.flushPool.Get().(*flushScratch)
+	sc.chunk = append(sc.chunk[:0], own)
+	sc.chunk = append(sc.chunk, l.pending[:n]...)
 	rest := copy(l.pending, l.pending[n:])
 	for i := rest; i < len(l.pending); i++ {
 		l.pending[i] = nil
@@ -138,21 +163,25 @@ func (s *Store) combine(t *tenant, l *lane, own *batchOp) bool {
 	l.pending = l.pending[:rest]
 	l.mu.Unlock()
 
-	l.addrs = l.addrs[:0]
-	for _, o := range l.chunk {
-		l.addrs = append(l.addrs, o.addr)
+	sc.addrs = sc.addrs[:0]
+	for _, o := range sc.chunk {
+		sc.addrs = append(sc.addrs, o.addr)
 	}
-	if cap(l.hits) < len(l.chunk) {
-		l.hits = make([]bool, s.batchSize)
+	if cap(sc.hits) < len(sc.chunk) {
+		sc.hits = make([]bool, s.batchSize)
 	}
-	hits := l.hits[:len(l.chunk)]
-	s.flush(t, l.addrs, hits)
-	for i, o := range l.chunk[1:] {
+	hits := sc.hits[:len(sc.chunk)]
+	s.flush(t, sc.addrs, hits)
+	for i, o := range sc.chunk[1:] {
 		o.hit = hits[i+1]
 		o.msg <- opDone
 	}
 	myHit := hits[0]
 	opPool.Put(own)
+	for i := range sc.chunk {
+		sc.chunk[i] = nil
+	}
+	s.flushPool.Put(sc)
 	s.finishCombine(t, l)
 	return myHit
 }
@@ -163,7 +192,7 @@ func (s *Store) combine(t *tenant, l *lane, own *batchOp) bool {
 func (s *Store) finishCombine(t *tenant, l *lane) {
 	l.mu.Lock()
 	if len(l.pending) == 0 {
-		l.active = false
+		l.state.Store(laneIdle)
 		l.mu.Unlock()
 		return
 	}
@@ -240,7 +269,9 @@ func removeOp(l *lane, o *batchOp) bool {
 // adaptive datapath and updates the tenant's counters: the batched twin
 // of accessDirect. addrs holds raw 48-bit key addresses (the record
 // hook's format); they are offset into the tenant's partition space in
-// place before hitting the cache.
+// place before hitting the cache. Built with -tags profilelabels, the
+// AccessBatch runs under a "talus=batch-flush" pprof label so serving
+// profiles attribute combiner time to the batcher.
 func (s *Store) flush(t *tenant, addrs []uint64, hits []bool) {
 	if s.recording.Load() {
 		s.recMu.Lock()
@@ -256,7 +287,10 @@ func (s *Store) flush(t *tenant, addrs []uint64, hits []bool) {
 	for i := range addrs {
 		addrs[i] |= t.space
 	}
-	n := s.ac.AccessBatch(addrs, t.part, hits)
+	var n int
+	withFlushLabel(func() {
+		n = s.ac.AccessBatch(addrs, t.part, hits)
+	})
 	t.hits.Add(int64(n))
 	t.misses.Add(int64(len(addrs) - n))
 }

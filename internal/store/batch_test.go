@@ -34,7 +34,7 @@ func (r *countingRecorder) Append(p int, addr uint64) error {
 // same seed.
 func TestBatchedMatchesUnbatched(t *testing.T) {
 	direct := buildStore(t, 8192, 4, 2, store.Config{BatchSize: 1})
-	batched := buildStore(t, 8192, 4, 2, store.Config{})
+	batched := buildStore(t, 8192, 4, 2, store.Config{ForceBatching: true})
 	recD, recB := &countingRecorder{}, &countingRecorder{}
 	if err := direct.SetRecorder(recD); err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestBatchedMatchesUnbatched(t *testing.T) {
 // lost or double-counted: request counters, simulated outcomes, and the
 // record hook all account for every access exactly once.
 func TestBatchConcurrentExactness(t *testing.T) {
-	s := buildStore(t, 8192, 4, 2, store.Config{BatchSize: 8})
+	s := buildStore(t, 8192, 4, 2, store.Config{BatchSize: 8, ForceBatching: true})
 	rec := &countingRecorder{}
 	if err := s.SetRecorder(rec); err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestBatchConcurrentExactness(t *testing.T) {
 // deadline every parked request gives up almost immediately and falls
 // back to the direct datapath, which must still count and serve exactly.
 func TestBatchDeadlineFallback(t *testing.T) {
-	s := buildStore(t, 8192, 2, 2, store.Config{BatchSize: 64, BatchDeadline: time.Nanosecond})
+	s := buildStore(t, 8192, 2, 2, store.Config{BatchSize: 64, BatchDeadline: time.Nanosecond, ForceBatching: true})
 	workers := 2 * runtime.GOMAXPROCS(0)
 	const perWorker = 2048
 	var wg sync.WaitGroup

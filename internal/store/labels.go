@@ -1,0 +1,21 @@
+//go:build profilelabels
+
+// Profiling labels for the serving hot path, compiled in only with
+// -tags profilelabels: pprof.Do allocates a label set and swaps
+// goroutine state on every call, which is measurable at the batcher's
+// nanosecond scale, so the default build keeps the hot path label-free.
+// `make profile-serving` builds with the tag; profiles then attribute
+// combiner time to talus=batch-flush.
+
+package store
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// withFlushLabel runs one combiner flush under the batch-flush pprof
+// label.
+func withFlushLabel(f func()) {
+	pprof.Do(context.Background(), pprof.Labels("talus", "batch-flush"), func(context.Context) { f() })
+}

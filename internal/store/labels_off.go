@@ -1,0 +1,7 @@
+//go:build !profilelabels
+
+package store
+
+// withFlushLabel is a no-op passthrough in default builds; see
+// labels.go for the -tags profilelabels variant.
+func withFlushLabel(f func()) { f() }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,6 +86,12 @@ type Config struct {
 	// before falling back to a direct access. 0 selects
 	// DefaultBatchDeadline; negative waits without bound.
 	BatchDeadline time.Duration
+	// ForceBatching keeps the request batcher engaged even where the
+	// store would bypass it as pure overhead — a single-P runtime
+	// (GOMAXPROCS=1 at construction), where requests cannot overlap so
+	// every batch would be a batch of one. Tests that pin batching
+	// semantics set this; servers should leave it false.
+	ForceBatching bool
 	// MaxBytes bounds the total value bytes held across all tenants;
 	// 0 means unbounded (the pre-bounded system-of-record behaviour).
 	// A positive bound turns on bounded mode: value lifetime couples to
@@ -155,6 +162,8 @@ type Store struct {
 
 	batchSize     int           // max ops per coalesced flush; <=1 disables
 	batchDeadline time.Duration // parked-request wait bound; <=0 unbounded
+	noBatch       bool          // batching resolved off (BatchSize<=1 or single-P)
+	flushPool     sync.Pool     // *flushScratch, combiner working sets
 
 	bounded    bool    // value lifetime coupled to line residency
 	maxBytes   int64   // global value-byte bound; 0 = none
@@ -207,6 +216,23 @@ func New(ac *adaptive.Cache, cfg Config) (*Store, error) {
 	if s.batchDeadline == 0 {
 		s.batchDeadline = DefaultBatchDeadline
 	}
+	// Resolve the batching decision once: GOMAXPROCS(0) takes the
+	// scheduler lock, so it must never be consulted per request. On a
+	// single-P runtime requests cannot overlap, so group commit can only
+	// add latency — bypass it unless explicitly forced.
+	s.noBatch = s.batchSize <= 1 || (!cfg.ForceBatching && runtime.GOMAXPROCS(0) == 1)
+	s.flushPool.New = func() any {
+		return &flushScratch{
+			chunk: make([]*batchOp, 0, s.batchSize),
+			addrs: make([]uint64, 0, s.batchSize),
+			hits:  make([]bool, s.batchSize),
+		}
+	}
+	// Serving traffic is concurrent by nature: switch the cache stack
+	// into lock-free hit mode where the policy and scheme allow it.
+	// (Stacks that refuse — RRIP policies, set partitioning — simply
+	// keep taking shard locks; either way the datapath is correct.)
+	ac.EnableSharedHits()
 	if s.bounded && !ac.SetEvictHook(s.onEvict) {
 		return nil, ErrNoEviction
 	}

@@ -44,6 +44,7 @@ type options struct {
 	maxValueBytes int64
 	batchSize     int
 	batchDeadline time.Duration
+	forceBatching bool
 	maxBytes      int64
 	backend       store.Backend
 	maxTenants    int
@@ -140,6 +141,13 @@ func WithMaxValueBytes(n int64) Option { return func(o *options) { o.maxValueByt
 // (DefaultBatchSize, 64); 1 disables batching entirely, restoring
 // the per-request datapath.
 func WithBatchSize(n int) Option { return func(o *options) { o.batchSize = n } }
+
+// WithForceBatching keeps the request batcher engaged even where the
+// store would bypass it as pure overhead — a GOMAXPROCS=1 runtime,
+// where requests cannot overlap so every batch would be a batch of one
+// (NewStore only). Useful for tests and benchmarks that pin batching
+// semantics; servers should not need it.
+func WithForceBatching() Option { return func(o *options) { o.forceBatching = true } }
 
 // WithBatchDeadline bounds how long a request may wait on the store's
 // per-tenant batcher before it falls back to a direct, unbatched cache
@@ -307,6 +315,7 @@ func NewStore(opts ...Option) (*Store, error) {
 		MaxValueBytes: o.maxValueBytes,
 		BatchSize:     o.batchSize,
 		BatchDeadline: o.batchDeadline,
+		ForceBatching: o.forceBatching,
 		MaxBytes:      o.maxBytes,
 		Backend:       o.backend,
 		MaxTenants:    o.maxTenants,
