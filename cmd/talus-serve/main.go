@@ -14,6 +14,8 @@
 //	            [-batch 64] [-batch-deadline 100µs]
 //	            [-max-bytes n] [-max-tenants n]
 //	            [-backend mem] [-backend-latency 0s]
+//	            [-weights gold=4,bronze=1] [-control]
+//	            [-self-tune] [-min-epoch n] [-max-epoch n]
 //
 // With -max-bytes and/or -backend the store is a true bounded cache:
 // values die when their simulated lines are evicted, writes pass the
@@ -26,7 +28,15 @@
 //	GET/PUT/DELETE /v1/cache/{tenant}/{key}    keyed bytes (X-Talus-Cache: hit|miss)
 //	GET  /v1/stats                             per-tenant counters + allocations
 //	GET  /v1/curves                            live measured + hulled miss curves
+//	GET  /v1/control                           control-loop state: churn, epoch budget, weights
+//	PUT  /v1/control/tenants/{tenant}          adjust a tenant's weight (needs -control)
 //	POST /v1/record                            start/stop trace capture (needs -record-dir)
+//
+// -weights assigns per-tenant objective weights (the allocator then
+// minimizes Σ wᵢ·missesᵢ, so a weight-4 tenant's misses count 4×);
+// -self-tune enables the churn-driven epoch controller, which widens
+// the reconfiguration interval up to -max-epoch while measured curves
+// are stable and snaps back toward -min-epoch on a phase change.
 //
 // A captured trace replays offline through talus-trace replay (or
 // talus.RunAdaptiveTraceFile), closing the loop between served traffic
@@ -43,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -73,6 +84,11 @@ func main() {
 		maxTenants = flag.Int("max-tenants", 0, "cap on tenants ever registered (0 = partition count only)")
 		backend    = flag.String("backend", "", "backing tier behind the cache: mem (empty = none)")
 		backendLat = flag.Duration("backend-latency", 0, "modeled latency per backend operation")
+		weights    = flag.String("weights", "", "per-tenant objective weights, e.g. gold=4,bronze=1")
+		control    = flag.Bool("control", false, "enable the mutating control plane (PUT /v1/control/tenants/{tenant})")
+		selfTune   = flag.Bool("self-tune", false, "enable the churn-driven epoch controller")
+		minEpoch   = flag.Int64("min-epoch", 0, "self-tuner's epoch budget floor in accesses (0 = the -epoch budget)")
+		maxEpoch   = flag.Int64("max-epoch", 0, "self-tuner's epoch budget ceiling in accesses (0 = 16x the floor)")
 	)
 	flag.Parse()
 	cfg := serveFlags{
@@ -83,6 +99,8 @@ func main() {
 		batch: *batch, batchWait: *batchWait,
 		maxBytes: *maxBytes, maxTenants: *maxTenants,
 		backend: *backend, backendLat: *backendLat,
+		weights: *weights, control: *control,
+		selfTune: *selfTune, minEpoch: *minEpoch, maxEpoch: *maxEpoch,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "talus-serve: %v\n", err)
@@ -113,6 +131,11 @@ type serveFlags struct {
 	maxTenants int
 	backend    string
 	backendLat time.Duration
+	weights    string
+	control    bool
+	selfTune   bool
+	minEpoch   int64
+	maxEpoch   int64
 }
 
 func run(cf serveFlags) error {
@@ -166,6 +189,16 @@ func run(cf serveFlags) error {
 			Seed:          cf.seed,
 		}))
 	}
+	if cf.selfTune || cf.minEpoch > 0 || cf.maxEpoch > 0 {
+		opts = append(opts, talus.WithSelfTuning(cf.minEpoch, cf.maxEpoch))
+	}
+	tenantWeights, err := parseWeights(cf.weights)
+	if err != nil {
+		return err
+	}
+	for tenant, w := range tenantWeights {
+		opts = append(opts, talus.WithTenantWeight(tenant, w))
+	}
 	st, err := talus.NewStore(opts...)
 	if err != nil {
 		return err
@@ -174,7 +207,7 @@ func run(cf serveFlags) error {
 
 	srv := &http.Server{
 		Addr:              cf.addr,
-		Handler:           talus.NewServeHandler(st, talus.ServeConfig{MaxValueBytes: cf.maxValue, RecordDir: cf.recordDir}),
+		Handler:           talus.NewServeHandler(st, talus.ServeConfig{MaxValueBytes: cf.maxValue, RecordDir: cf.recordDir, Control: cf.control}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -210,6 +243,31 @@ func run(cf serveFlags) error {
 			ts.Tenant, ts.Gets, ts.Sets, ts.HitRatio, talus.LinesToMB(float64(ts.AllocLines)))
 	}
 	return nil
+}
+
+// parseWeights parses the -weights list ("gold=4,bronze=1") into a
+// tenant → weight map.
+func parseWeights(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(s, ",") {
+		if pair = strings.TrimSpace(pair); pair == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(pair, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-weights entry %q: want tenant=weight", pair)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-weights entry %q: bad weight", pair)
+		}
+		out[name] = w
+	}
+	return out, nil
 }
 
 // splitTenants parses the -tenants list, tolerating stray commas.

@@ -58,14 +58,24 @@ func main() {
 		shardsF   = flag.Int("shards", 1, "adaptive cache shard count")
 		batchF    = flag.Int("batch", 0, "adaptive accesses per batch (0 = default 2048; match the recording for exact trace replay)")
 		tailF     = flag.Float64("tail", 0, "adaptive trailing fraction measured for steady-state rates (0 = default 0.5)")
+		weightsF  = flag.String("weights", "", "adaptive per-app objective weights in app order, e.g. 4,1,1,1 (empty = uniform)")
+		selfTuneF = flag.Bool("self-tune", false, "adaptive churn-driven epoch controller")
+		minEpochF = flag.Int64("min-epoch", 0, "self-tuner's epoch budget floor in accesses (0 = the -epoch budget)")
+		maxEpochF = flag.Int64("max-epoch", 0, "self-tuner's epoch budget ceiling in accesses (0 = 16x the floor)")
 	)
 	flag.Parse()
 
+	weightsV, err := parseWeights(*weightsF)
+	if err != nil {
+		fatal(err)
+	}
 	vals := flagValues{
 		apps: *appsFlag, mode: *mode, mb: *mb, work: *work, seed: *seed,
 		adaptive: *adaptiveF, epoch: *epochF, alloc: *allocF,
 		accesses: *accessesF, shards: *shardsF, batch: *batchF,
 		tail: *tailF, traces: *traceF,
+		weights: weightsV, selfTune: *selfTuneF,
+		minEpoch: *minEpochF, maxEpoch: *maxEpochF,
 	}
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -94,6 +104,10 @@ func main() {
 			Shards:        *shardsF,
 			BatchLen:      *batchF,
 			TailFrac:      *tailF,
+			Weights:       weightsV,
+			SelfTune:      *selfTuneF,
+			MinEpoch:      *minEpochF,
+			MaxEpoch:      *maxEpochF,
 		}
 	} else {
 		flag.Usage()
@@ -172,6 +186,10 @@ func adaptiveCfg(spec specFile) sim.AdaptiveConfig {
 		AccessesPerApp: spec.Accesses,
 		BatchLen:       spec.BatchLen,
 		TailFrac:       spec.TailFrac,
+		Weights:        spec.Weights,
+		SelfTune:       spec.SelfTune,
+		MinEpoch:       spec.MinEpoch,
+		MaxEpoch:       spec.MaxEpoch,
 		Seed:           spec.Seed,
 	}
 }

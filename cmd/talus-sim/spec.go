@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -36,6 +37,14 @@ type specFile struct {
 	Shards        int     `json:"shards"`
 	BatchLen      int     `json:"batch_len"`
 	TailFrac      float64 `json:"tail_frac"`
+
+	// Weights gives each app's partition an objective weight, in app
+	// order (the allocator minimizes Σ wᵢ·missesᵢ); SelfTune enables the
+	// churn-driven epoch controller bounded by MinEpoch/MaxEpoch.
+	Weights  []float64 `json:"weights"`
+	SelfTune bool      `json:"self_tune"`
+	MinEpoch int64     `json:"min_epoch"`
+	MaxEpoch int64     `json:"max_epoch"`
 }
 
 // loadSpec parses a JSON spec, rejecting unknown (typo'd) keys.
@@ -74,6 +83,10 @@ type flagValues struct {
 	batch    int
 	tail     float64
 	traces   string
+	weights  []float64
+	selfTune bool
+	minEpoch int64
+	maxEpoch int64
 }
 
 // applyFlags overrides spec fields with flags the user explicitly set
@@ -120,6 +133,36 @@ func (s *specFile) applyFlags(set map[string]bool, v flagValues) {
 	if set["trace"] {
 		s.TraceFiles = splitList(v.traces)
 	}
+	if set["weights"] {
+		s.Weights = v.weights
+	}
+	if set["self-tune"] {
+		s.SelfTune = v.selfTune
+	}
+	if set["min-epoch"] {
+		s.MinEpoch = v.minEpoch
+	}
+	if set["max-epoch"] {
+		s.MaxEpoch = v.maxEpoch
+	}
+}
+
+// parseWeights parses the -weights flag: comma-separated per-app
+// weights in app order ("4,1,1,1"). Empty means uniform.
+func parseWeights(s string) ([]float64, error) {
+	parts := splitList(s)
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(p, 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-weights entry %q: want a non-negative number", p)
+		}
+		out[i] = w
+	}
+	return out, nil
 }
 
 // splitList splits a comma-separated flag value, trimming blanks.

@@ -3,6 +3,7 @@ package adaptive
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
@@ -20,10 +21,24 @@ import (
 // rates lands within an order of magnitude of this).
 const DefaultEpochAccesses = 1 << 20
 
+// Self-tuning controller defaults: the epoch budget may stretch to
+// DefaultMaxEpochFactor × its configured value; churn below
+// DefaultChurnLow for calmEpochs consecutive epochs doubles the budget,
+// churn above DefaultChurnHigh halves it.
+const (
+	DefaultMaxEpochFactor = 16
+	DefaultChurnLow       = 0.05
+	DefaultChurnHigh      = 0.30
+	calmEpochs            = 2
+	minRetain             = 0.05
+	maxRetain             = 0.90
+)
+
 // Config parameterizes the control loop.
 type Config struct {
 	// EpochAccesses is the reconfiguration interval in observed accesses
-	// (all partitions combined); 0 selects DefaultEpochAccesses.
+	// (all partitions combined); 0 selects DefaultEpochAccesses. With
+	// SelfTune this is the starting budget the controller adapts.
 	EpochAccesses int64
 	// Retain is the monitors' EWMA retention factor in (0, 1);
 	// 0 selects monitor.DefaultRetain (0.5: one-epoch half-life).
@@ -51,6 +66,36 @@ type Config struct {
 	MonitorSlices int
 	// Seed derives the monitors' hash functions.
 	Seed uint64
+
+	// Weights gives each partition's objective weight in the allocation
+	// Request (see alloc.Request.Weights): a weight-4 partition's saved
+	// miss counts four times a weight-1 partition's. nil means uniform —
+	// the legacy minimize-total-misses objective, byte-identical to the
+	// unweighted stack. Adjustable at runtime via SetWeight.
+	Weights []float64
+	// MinLines / MaxLines are per-partition allocation floors and caps
+	// (see alloc.Request); nil means none. Adjustable at runtime via
+	// SetPartitionLines.
+	MinLines []int64
+	MaxLines []int64
+
+	// SelfTune enables the churn-driven epoch controller: when
+	// successive epochs' measured curves barely move (normalized L1
+	// distance below ChurnLow for calmEpochs epochs) the epoch budget —
+	// and the wall-clock interval, proportionally — doubles, up to
+	// MaxEpoch; a churn spike above ChurnHigh halves it, down to
+	// MinEpoch. Retain adapts alongside: shorter epochs are noisier so
+	// retention rises (√retain); longer epochs measure well on their own
+	// so retention falls (retain²).
+	SelfTune bool
+	// MinEpoch / MaxEpoch bound the self-tuned epoch budget in accesses.
+	// 0 selects EpochAccesses and DefaultMaxEpochFactor×EpochAccesses.
+	MinEpoch int64
+	MaxEpoch int64
+	// ChurnLow / ChurnHigh are the controller's churn thresholds;
+	// 0 selects DefaultChurnLow / DefaultChurnHigh.
+	ChurnLow  float64
+	ChurnHigh float64
 }
 
 func (c *Config) defaults() {
@@ -66,6 +111,24 @@ func (c *Config) defaults() {
 	if c.Granules <= 0 {
 		c.Granules = 64
 	}
+	if c.MinEpoch <= 0 {
+		c.MinEpoch = c.EpochAccesses
+	}
+	if c.MaxEpoch <= 0 {
+		c.MaxEpoch = DefaultMaxEpochFactor * c.EpochAccesses
+	}
+	if c.MaxEpoch < c.MinEpoch {
+		c.MaxEpoch = c.MinEpoch
+	}
+	if c.ChurnLow <= 0 {
+		c.ChurnLow = DefaultChurnLow
+	}
+	if c.ChurnHigh <= 0 {
+		c.ChurnHigh = DefaultChurnHigh
+	}
+	if c.ChurnHigh < c.ChurnLow {
+		c.ChurnHigh = c.ChurnLow
+	}
 }
 
 // monSlot is one partition's monitor lane, padded so concurrently
@@ -76,6 +139,40 @@ type monSlot struct {
 	mon      *monitor.SlicedEpochMonitor
 	accesses atomic.Int64 // observed this epoch
 	_        [64]byte
+}
+
+// ControllerState is a snapshot of the control loop's tunables and its
+// most recent measurements, served at /v1/control.
+type ControllerState struct {
+	// Epochs counts epoch steps that measured traffic (no-op epochs on
+	// an idle cache are skipped entirely and not counted).
+	Epochs int `json:"epochs"`
+	// Churn is the last measuring epoch's access-share-weighted
+	// normalized L1 distance between successive per-partition curves
+	// (see curve.Distance); 0 before the second measuring epoch.
+	Churn float64 `json:"churn"`
+	// SelfTune reports whether the churn controller is active.
+	SelfTune bool `json:"self_tune"`
+	// EpochAccesses is the current epoch budget (self-tuned between
+	// MinEpoch and MaxEpoch when SelfTune; otherwise the configured
+	// value).
+	EpochAccesses int64 `json:"epoch_accesses"`
+	MinEpoch      int64 `json:"min_epoch"`
+	MaxEpoch      int64 `json:"max_epoch"`
+	// EpochInterval is the current wall-clock trigger interval (0
+	// without a ticker); scaled with the epoch budget under SelfTune.
+	EpochInterval time.Duration `json:"epoch_interval_ns"`
+	// Retain is the monitors' current EWMA retention factor.
+	Retain float64 `json:"retain"`
+	// Allocator names the allocation policy.
+	Allocator string `json:"allocator"`
+	// Allocations is the most recent per-partition allocation in lines.
+	Allocations []int64 `json:"allocations"`
+	// Weights is the per-partition objective weight vector (nil =
+	// uniform). MinLines/MaxLines likewise (nil = unconstrained).
+	Weights  []float64 `json:"weights,omitempty"`
+	MinLines []int64   `json:"min_lines,omitempty"`
+	MaxLines []int64   `json:"max_lines,omitempty"`
 }
 
 // Cache is the adaptive Talus runtime. Construct with New (or the
@@ -95,7 +192,24 @@ type Cache struct {
 	lastAllocs []int64
 	lastCurves []*curve.Curve
 	lastErr    error
+	partAcc    []int64 // scratch: per-partition accesses drained this epoch
 
+	// Allocation constraints threaded into each epoch's Request. nil
+	// slices stay nil until a setter materializes them, so the uniform
+	// configuration builds the exact plain Request of the legacy path.
+	weights  []float64
+	minLines []int64
+	maxLines []int64
+
+	// Self-tuning controller state.
+	curEpoch     int64   // current epoch budget in accesses
+	curRetain    float64 // current monitor retention factor
+	churn        float64 // last measuring epoch's churn
+	calm         int     // consecutive epochs with churn ≤ ChurnLow
+	baseInterval time.Duration
+	curInterval  time.Duration
+
+	ticker    *time.Ticker  // non-nil iff EpochInterval > 0
 	tickStop  chan struct{} // nil without EpochInterval
 	tickDone  chan struct{}
 	closeOnce sync.Once
@@ -116,6 +230,27 @@ func New(sc *core.ShadowedCache, cfg Config) (*Cache, error) {
 		mons:       make([]monSlot, n),
 		lastAllocs: make([]int64, n),
 		lastCurves: make([]*curve.Curve, n),
+		partAcc:    make([]int64, n),
+		curEpoch:   cfg.EpochAccesses,
+		curRetain:  cfg.Retain,
+	}
+	if cfg.Weights != nil {
+		if len(cfg.Weights) != n {
+			return nil, fmt.Errorf("adaptive: %d weights for %d partitions", len(cfg.Weights), n)
+		}
+		a.weights = append([]float64(nil), cfg.Weights...)
+	}
+	if cfg.MinLines != nil {
+		if len(cfg.MinLines) != n {
+			return nil, fmt.Errorf("adaptive: %d line floors for %d partitions", len(cfg.MinLines), n)
+		}
+		a.minLines = append([]int64(nil), cfg.MinLines...)
+	}
+	if cfg.MaxLines != nil {
+		if len(cfg.MaxLines) != n {
+			return nil, fmt.Errorf("adaptive: %d line caps for %d partitions", len(cfg.MaxLines), n)
+		}
+		a.maxLines = append([]int64(nil), cfg.MaxLines...)
 	}
 	for p := range a.mons {
 		mon, err := monitor.NewSlicedEpochMonitor(budget, cfg.Retain, cfg.Seed+uint64(p)*0x9E3779B9, cfg.MonitorSlices)
@@ -134,33 +269,37 @@ func New(sc *core.ShadowedCache, cfg Config) (*Cache, error) {
 		return nil, fmt.Errorf("adaptive: initial reconfigure: %w", err)
 	}
 	copy(a.lastAllocs, fair)
-	a.nextEpoch.Store(cfg.EpochAccesses)
+	a.nextEpoch.Store(a.curEpoch)
 	if cfg.EpochInterval > 0 {
+		a.baseInterval = cfg.EpochInterval
+		a.curInterval = cfg.EpochInterval
+		a.ticker = time.NewTicker(cfg.EpochInterval)
 		a.tickStop = make(chan struct{})
 		a.tickDone = make(chan struct{})
-		go a.tickLoop(cfg.EpochInterval)
+		go a.tickLoop()
 	}
 	return a, nil
 }
 
-// tickLoop is the wall-clock epoch trigger: every EpochInterval it
-// attempts the same TryLock epoch step the access clock fires, so
-// reconfiguration happens on time even when traffic is too light to
-// reach EpochAccesses. Runs until Close.
-func (a *Cache) tickLoop(interval time.Duration) {
+// tickLoop is the wall-clock epoch trigger: every tick it attempts the
+// same TryLock epoch step the access clock fires, so reconfiguration
+// happens on time even when traffic is too light to reach the epoch
+// budget. The controller retunes the ticker's interval in lockstep with
+// the budget (time.Ticker.Reset is safe against a concurrent receive).
+// Runs until Close.
+func (a *Cache) tickLoop() {
 	defer close(a.tickDone)
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	defer a.ticker.Stop()
 	for {
 		select {
 		case <-a.tickStop:
 			return
-		case <-t.C:
+		case <-a.ticker.C:
 			if !a.epochMu.TryLock() {
 				continue // an access-driven epoch is already running
 			}
 			a.runEpochLocked()
-			a.nextEpoch.Store(a.accTotal.Load() + a.cfg.EpochAccesses)
+			a.nextEpoch.Store(a.accTotal.Load() + a.curEpoch)
 			a.epochMu.Unlock()
 		}
 	}
@@ -240,7 +379,7 @@ func (a *Cache) afterAccesses(k int64) {
 		return // another goroutine already ran this epoch
 	}
 	a.runEpochLocked()
-	a.nextEpoch.Store(a.accTotal.Load() + a.cfg.EpochAccesses)
+	a.nextEpoch.Store(a.accTotal.Load() + a.curEpoch)
 }
 
 // ForceEpoch runs one epoch step immediately regardless of the access
@@ -249,7 +388,7 @@ func (a *Cache) ForceEpoch() error {
 	a.epochMu.Lock()
 	defer a.epochMu.Unlock()
 	a.runEpochLocked()
-	a.nextEpoch.Store(a.accTotal.Load() + a.cfg.EpochAccesses)
+	a.nextEpoch.Store(a.accTotal.Load() + a.curEpoch)
 	return a.lastErr
 }
 
@@ -264,43 +403,72 @@ func (a *Cache) runEpochLocked() {
 
 // epochBody does the actual epoch work. Caller holds epochMu.
 func (a *Cache) epochBody() {
-	// Drain each lane's epoch access count and extract its EWMA curve.
-	// The denominator is shared across partitions — every curve is
-	// normalized per kilo-access of the whole cache's epoch stream — so
-	// curve heights compare as absolute miss counts and the allocator
-	// minimizes total misses, the analogue of the CPU simulator's
-	// aggregate-MPKI objective.
+	// Drain each lane's epoch access count. A cache-wide idle epoch is
+	// skipped outright — no curve extraction, no EWMA decay, no epoch
+	// counted: a wall-clock tick on an idle cache must not erode the
+	// measured curves toward empty (the counters hold until traffic
+	// returns, and Err keeps reporting the last real epoch's outcome).
 	var epochAcc int64
 	for p := range a.mons {
-		epochAcc += a.mons[p].accesses.Swap(0)
+		a.partAcc[p] = a.mons[p].accesses.Swap(0)
+		epochAcc += a.partAcc[p]
 	}
 	if epochAcc == 0 {
-		// Nothing to measure: a trivially successful epoch (Err's
-		// contract reports the most recent step's outcome).
-		a.lastErr = nil
-		a.epochs++
 		return
 	}
+	// Extract each measured partition's EWMA curve. The denominator is
+	// shared across partitions — every curve is normalized per
+	// kilo-access of the whole cache's epoch stream — so curve heights
+	// compare as absolute miss counts and the allocator minimizes
+	// (weighted) total misses, the analogue of the CPU simulator's
+	// aggregate-MPKI objective. Partitions idle *this epoch* are skipped
+	// the same way idle epochs are: their monitors keep accumulating and
+	// their last curve stands, so a tenant that pauses does not decay
+	// toward zero utility and lose its allocation.
 	units := float64(epochAcc)
 	budget := a.sc.Inner().PartitionableCapacity()
+	var churn float64
 	for p := range a.mons {
+		if a.partAcc[p] == 0 {
+			if a.lastCurves[p] == nil {
+				// Never-seen partition: a flat zero curve claims no utility,
+				// so the allocator gives it only leftover capacity.
+				a.lastCurves[p] = curve.MustNew([]curve.Point{
+					{Size: 0, MPKI: 0}, {Size: float64(budget), MPKI: 0},
+				})
+			}
+			continue
+		}
 		// EpochCurve drains the monitor slices and is serialized by
 		// epochMu; racing observers accrue to this epoch or the next.
 		c, err := a.mons[p].mon.EpochCurve(units)
 		if err == nil {
+			// Churn: how far this partition's curve moved since its last
+			// measurement, weighted by its share of the epoch's traffic
+			// (a first measurement is maximal churn: Distance vs nil = 1).
+			churn += float64(a.partAcc[p]) / units * curve.Distance(a.lastCurves[p], c)
 			a.lastCurves[p] = c
 		} else if a.lastCurves[p] == nil {
-			// Never-seen partition: a flat zero curve claims no utility,
-			// so the allocator gives it only leftover capacity.
 			a.lastCurves[p] = curve.MustNew([]curve.Point{
 				{Size: 0, MPKI: 0}, {Size: float64(budget), MPKI: 0},
 			})
 		}
 	}
+	a.churn = churn
+	if a.cfg.SelfTune {
+		a.tuneLocked()
+	}
 
 	hulls := core.Convexify(a.lastCurves)
 	granule := max(budget/int64(a.cfg.Granules), 1)
-	allocs, err := a.cfg.Allocator.Allocate(hulls, budget, granule)
+	allocs, err := a.cfg.Allocator.Allocate(alloc.Request{
+		Curves:   hulls,
+		Total:    budget,
+		Granule:  granule,
+		Weights:  a.weights,
+		MinLines: a.minLines,
+		MaxLines: a.maxLines,
+	})
 	if err != nil {
 		a.lastErr = fmt.Errorf("adaptive: epoch %d allocate: %w", a.epochs, err)
 		a.epochs++
@@ -319,6 +487,143 @@ func (a *Cache) epochBody() {
 	copy(a.lastAllocs, allocs)
 	a.lastErr = nil
 	a.epochs++
+}
+
+// tuneLocked is the churn controller's state machine, run once per
+// measuring epoch. A churn spike halves the epoch budget (faster
+// re-measurement) and raises retention toward 1 (shorter epochs are
+// noisier, so lean harder on history); sustained calm doubles the
+// budget and lowers retention (long epochs measure well on their own).
+// The wall-clock ticker interval scales with the budget so both
+// triggers stretch and shrink together. Caller holds epochMu.
+func (a *Cache) tuneLocked() {
+	switch {
+	case a.churn > a.cfg.ChurnHigh:
+		a.calm = 0
+		if a.curEpoch > a.cfg.MinEpoch {
+			a.curEpoch = max(a.curEpoch/2, a.cfg.MinEpoch)
+			a.curRetain = clampRetain(math.Sqrt(a.curRetain))
+			a.applyTuningLocked()
+		}
+	case a.churn < a.cfg.ChurnLow:
+		a.calm++
+		if a.calm >= calmEpochs && a.curEpoch < a.cfg.MaxEpoch {
+			a.curEpoch = min(a.curEpoch*2, a.cfg.MaxEpoch)
+			a.curRetain = clampRetain(a.curRetain * a.curRetain)
+			a.calm = 0
+			a.applyTuningLocked()
+		}
+	default:
+		a.calm = 0
+	}
+}
+
+func clampRetain(r float64) float64 {
+	return math.Min(maxRetain, math.Max(minRetain, r))
+}
+
+// applyTuningLocked pushes the controller's current retention into
+// every monitor and rescales the wall-clock ticker proportionally to
+// the epoch budget. Caller holds epochMu (which also serializes the
+// monitors' SetRetain with their EpochCurve).
+func (a *Cache) applyTuningLocked() {
+	for p := range a.mons {
+		a.mons[p].mon.SetRetain(a.curRetain)
+	}
+	if a.ticker != nil {
+		iv := time.Duration(float64(a.baseInterval) * float64(a.curEpoch) / float64(a.cfg.EpochAccesses))
+		if iv <= 0 {
+			iv = a.baseInterval
+		}
+		if iv != a.curInterval {
+			a.curInterval = iv
+			a.ticker.Reset(iv)
+		}
+	}
+}
+
+// SetWeight sets partition p's objective weight for subsequent epochs
+// (see alloc.Request.Weights). The weight must be finite and
+// non-negative. The first call materializes the weight vector (uniform
+// 1s); until then the epoch Request carries nil weights — the exact
+// legacy objective.
+func (a *Cache) SetWeight(p int, w float64) error {
+	a.checkPartition(p)
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		return fmt.Errorf("adaptive: weight %g for partition %d (need finite, non-negative)", w, p)
+	}
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	if a.weights == nil {
+		a.weights = make([]float64, a.n)
+		for i := range a.weights {
+			a.weights[i] = 1
+		}
+	}
+	a.weights[p] = w
+	return nil
+}
+
+// SetPartitionLines sets partition p's allocation floor and cap in
+// lines for subsequent epochs (see alloc.Request); maxLines 0 means
+// unbounded. Feasibility against the budget is checked by the allocator
+// each epoch (an infeasible combination surfaces through Err).
+func (a *Cache) SetPartitionLines(p int, minLines, maxLines int64) error {
+	a.checkPartition(p)
+	if minLines < 0 || maxLines < 0 || (maxLines > 0 && maxLines < minLines) {
+		return fmt.Errorf("adaptive: bad line bounds [%d, %d] for partition %d", minLines, maxLines, p)
+	}
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	if a.minLines == nil {
+		a.minLines = make([]int64, a.n)
+	}
+	if a.maxLines == nil {
+		a.maxLines = make([]int64, a.n)
+	}
+	a.minLines[p] = minLines
+	a.maxLines[p] = maxLines
+	return nil
+}
+
+// Weights returns a copy of the per-partition weight vector, or nil
+// while the objective is uniform.
+func (a *Cache) Weights() []float64 {
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	if a.weights == nil {
+		return nil
+	}
+	return append([]float64(nil), a.weights...)
+}
+
+// Controller returns a snapshot of the control loop's tunables and its
+// most recent measurements.
+func (a *Cache) Controller() ControllerState {
+	a.epochMu.Lock()
+	defer a.epochMu.Unlock()
+	st := ControllerState{
+		Epochs:        a.epochs,
+		Churn:         a.churn,
+		SelfTune:      a.cfg.SelfTune,
+		EpochAccesses: a.curEpoch,
+		MinEpoch:      a.cfg.MinEpoch,
+		MaxEpoch:      a.cfg.MaxEpoch,
+		EpochInterval: a.curInterval,
+		Retain:        a.curRetain,
+		Allocator:     a.cfg.Allocator.Name(),
+		Allocations:   append([]int64(nil), a.lastAllocs...),
+	}
+	if a.weights != nil {
+		st.Weights = append([]float64(nil), a.weights...)
+	}
+	if a.minLines != nil {
+		st.MinLines = append([]int64(nil), a.minLines...)
+	}
+	if a.maxLines != nil {
+		st.MaxLines = append([]int64(nil), a.maxLines...)
+	}
+	return st
 }
 
 // SetEvictHook installs fn to be called once per line the underlying
@@ -342,7 +647,8 @@ func (a *Cache) Invalidate(addr uint64, p int) bool {
 	return a.sc.Invalidate(addr, p)
 }
 
-// Epochs returns how many epoch steps have run.
+// Epochs returns how many epoch steps have measured traffic (idle
+// no-op steps are skipped and not counted).
 func (a *Cache) Epochs() int {
 	a.epochMu.Lock()
 	defer a.epochMu.Unlock()

@@ -22,6 +22,21 @@
 //     core.ShadowedCache.Reconfigure (the raw curves go down too, so
 //     already-convex partitions collapse to a single shadow partition).
 //
+// # Self-tuning and the control plane
+//
+// Config.SelfTune enables the churn-driven epoch controller: each epoch
+// the loop measures how much every partition's curve moved
+// (curve.Distance, access-share-weighted) and adapts its own budget —
+// churn above ChurnHigh halves the epoch (floor MinEpoch) and raises
+// monitor retention, churn below ChurnLow for two consecutive epochs
+// doubles it (cap MaxEpoch) and decays retention; the wall-clock
+// ticker rescales proportionally. Epochs that observed zero accesses
+// are complete no-ops, and a partition idle for an epoch keeps its
+// previous curve untouched instead of decaying toward zero. SetWeight
+// and SetPartitionLines adjust the allocation Request live;
+// Controller() snapshots the whole state (ControllerState — what
+// serve's GET /v1/control returns).
+//
 // # Concurrency
 //
 // All methods are safe for concurrent use when the ShadowedCache's inner

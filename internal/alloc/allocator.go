@@ -5,11 +5,7 @@
 
 package alloc
 
-import (
-	"fmt"
-
-	"talus/internal/curve"
-)
+import "fmt"
 
 // Allocator divides a capacity budget among partitions based on their
 // miss curves. Implementations must be pure (no state mutated by
@@ -18,51 +14,55 @@ import (
 type Allocator interface {
 	// Name returns the allocator's canonical name (as accepted by ByName).
 	Name() string
-	// Allocate returns per-partition line counts summing to total,
-	// allocated in multiples of granule (plus sub-granule residue).
-	// Curves follow the conventions of this package: piecewise-linear
-	// miss curves, one per partition.
-	Allocate(curves []*curve.Curve, total, granule int64) ([]int64, error)
+	// Allocate returns per-partition line counts summing to req.Total,
+	// allocated in multiples of req.Granule (plus sub-granule residue),
+	// honoring the request's weights, floors, and caps. A plain request
+	// (curves, total, granule only) reproduces the legacy unweighted
+	// algorithms exactly.
+	Allocate(req Request) ([]int64, error)
 }
 
 // allocatorFunc adapts a plain allocation function to the Allocator
 // interface.
 type allocatorFunc struct {
 	name string
-	fn   func(curves []*curve.Curve, total, granule int64) ([]int64, error)
+	fn   func(req Request) ([]int64, error)
 }
 
 func (a allocatorFunc) Name() string { return a.name }
-func (a allocatorFunc) Allocate(curves []*curve.Curve, total, granule int64) ([]int64, error) {
-	return a.fn(curves, total, granule)
+func (a allocatorFunc) Allocate(req Request) ([]int64, error) {
+	return a.fn(req)
 }
 
 // The package's algorithms as shared, stateless Allocator values.
 var (
-	// HillClimbAllocator is HillClimb: linear-time greedy, optimal on
-	// convex (hulled) curves — the paper's allocator of choice under Talus.
-	HillClimbAllocator Allocator = allocatorFunc{"hill", HillClimb}
-	// LookaheadAllocator is UCP Lookahead: quadratic, copes with cliffs.
-	LookaheadAllocator Allocator = allocatorFunc{"lookahead", Lookahead}
-	// FairAllocator ignores the curves and returns equal shares.
-	FairAllocator Allocator = allocatorFunc{"fair", func(curves []*curve.Curve, total, granule int64) ([]int64, error) {
-		return Fair(len(curves), total, granule)
-	}}
+	// HillClimbAllocator is WeightedHillClimb: linear-time greedy, optimal
+	// on convex (hulled) curves — the paper's allocator of choice under
+	// Talus. On a plain request it is exactly the legacy HillClimb.
+	HillClimbAllocator Allocator = allocatorFunc{"hill", WeightedHillClimb}
+	// LookaheadAllocator is WeightedLookahead: quadratic UCP Lookahead,
+	// copes with cliffs.
+	LookaheadAllocator Allocator = allocatorFunc{"lookahead", WeightedLookahead}
+	// FairAllocator ignores the curves and splits proportionally to the
+	// request's weights (equal shares when uniform).
+	FairAllocator Allocator = allocatorFunc{"fair", WeightedFair}
 	// OptimalDPAllocator is the exact dynamic program (tests, ablations).
-	OptimalDPAllocator Allocator = allocatorFunc{"optimal", OptimalDP}
+	OptimalDPAllocator Allocator = allocatorFunc{"optimal", WeightedOptimalDP}
 )
 
 // ByName resolves an allocator name ("hill", "lookahead", "fair",
-// "optimal") to its shared Allocator value.
+// "optimal") to its shared Allocator value. The "weighted-*" aliases
+// name the same values: every allocator is weight-aware through its
+// Request.
 func ByName(name string) (Allocator, error) {
 	switch name {
-	case "hill", "hillclimb", "hill-climb":
+	case "hill", "hillclimb", "hill-climb", "weighted-hill":
 		return HillClimbAllocator, nil
-	case "lookahead":
+	case "lookahead", "weighted-lookahead":
 		return LookaheadAllocator, nil
-	case "fair":
+	case "fair", "weighted-fair":
 		return FairAllocator, nil
-	case "optimal", "dp", "optimal-dp":
+	case "optimal", "dp", "optimal-dp", "weighted-optimal":
 		return OptimalDPAllocator, nil
 	}
 	return nil, fmt.Errorf("%w: unknown allocator %q (valid: fair, hill, lookahead, optimal)", ErrBadInput, name)

@@ -26,7 +26,7 @@ func TestAllocatorValuesMatchFunctions(t *testing.T) {
 		}},
 	}
 	for _, tc := range cases {
-		got, err := tc.a.Allocate(curves, total, granule)
+		got, err := tc.a.Allocate(NewRequest(curves, total, granule))
 		if err != nil {
 			t.Fatalf("%s: %v", tc.a.Name(), err)
 		}

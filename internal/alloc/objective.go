@@ -1,0 +1,58 @@
+// Objective: the scalar cost an allocator minimizes. The paper's §VII-D
+// point is that convex hulls make any partitioning objective easy to
+// optimize; this registry names the two we ship — plain aggregate
+// misses and the weighted (QoS) variant — so tests and tooling can
+// score an allocation under the objective a Request encodes.
+
+package alloc
+
+import "fmt"
+
+// Objective scores an allocation under a request: lower is better.
+type Objective interface {
+	// Name returns the objective's canonical name (as accepted by
+	// ObjectiveByName).
+	Name() string
+	// Cost evaluates the allocation's scalar cost under the request's
+	// curves (and, for weighted objectives, its weights).
+	Cost(req Request, allocation []int64) float64
+}
+
+type objectiveFunc struct {
+	name string
+	fn   func(req Request, allocation []int64) float64
+}
+
+func (o objectiveFunc) Name() string { return o.name }
+func (o objectiveFunc) Cost(req Request, allocation []int64) float64 {
+	return o.fn(req, allocation)
+}
+
+var (
+	// MinMiss is the classic objective: aggregate MPKI across partitions,
+	// ignoring weights.
+	MinMiss Objective = objectiveFunc{"min-miss", func(req Request, allocation []int64) float64 {
+		return TotalMPKI(req.Curves, allocation)
+	}}
+	// WeightedMiss prices each partition's misses by its request weight —
+	// the objective WeightedHillClimb and WeightedOptimalDP minimize. On
+	// a uniform request it equals MinMiss.
+	WeightedMiss Objective = objectiveFunc{"weighted-miss", func(req Request, allocation []int64) float64 {
+		sum := 0.0
+		for i, c := range req.Curves {
+			sum += req.weight(i) * c.Eval(float64(allocation[i]))
+		}
+		return sum
+	}}
+)
+
+// ObjectiveByName resolves an objective name to its shared value.
+func ObjectiveByName(name string) (Objective, error) {
+	switch name {
+	case "min-miss", "minmiss", "miss":
+		return MinMiss, nil
+	case "weighted-miss", "weighted", "qos":
+		return WeightedMiss, nil
+	}
+	return nil, fmt.Errorf("%w: unknown objective %q (valid: min-miss, weighted-miss)", ErrBadInput, name)
+}

@@ -1,0 +1,238 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"talus/internal/curve"
+)
+
+// randConvexCurve builds a random convex, non-increasing miss curve on
+// [0, maxSize]: random positive slopes sorted by decreasing magnitude.
+func randConvexCurve(rng *rand.Rand, maxSize int64, npts int) *curve.Curve {
+	drops := make([]float64, npts-1)
+	for i := range drops {
+		drops[i] = rng.Float64() * 10
+	}
+	// Sort descending: steepest drop first = convex (slope magnitude
+	// shrinking with size).
+	for i := 1; i < len(drops); i++ {
+		for j := i; j > 0 && drops[j] > drops[j-1]; j-- {
+			drops[j], drops[j-1] = drops[j-1], drops[j]
+		}
+	}
+	// Suffix sums keep every height exactly non-negative (a running
+	// subtraction can go fractionally below zero in floating point).
+	heights := make([]float64, npts)
+	for i := npts - 2; i >= 0; i-- {
+		heights[i] = heights[i+1] + drops[i]
+	}
+	pts := make([]curve.Point, npts)
+	step := float64(maxSize) / float64(npts-1)
+	for i := range pts {
+		pts[i] = curve.Point{Size: float64(i) * step, MPKI: heights[i]}
+	}
+	return curve.MustNew(pts)
+}
+
+// TestWeightedHillClimbOptimal is the satellite property test: on random
+// convex hulls with random weights, greedy weighted hill climbing must
+// match the exact weighted DP's objective value (allocations may differ
+// where the objective ties, so compare WeightedMiss costs, not vectors).
+func TestWeightedHillClimbOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		const total, granule = 4096, 128
+		req := Request{Total: total, Granule: granule}
+		req.Curves = make([]*curve.Curve, n)
+		req.Weights = make([]float64, n)
+		for i := range req.Curves {
+			req.Curves[i] = randConvexCurve(rng, total, 3+rng.Intn(6))
+			req.Weights[i] = 0.25 + rng.Float64()*8
+		}
+		got, err := WeightedHillClimb(req)
+		if err != nil {
+			t.Fatalf("trial %d: hill: %v", trial, err)
+		}
+		want, err := WeightedOptimalDP(req)
+		if err != nil {
+			t.Fatalf("trial %d: dp: %v", trial, err)
+		}
+		var sum int64
+		for _, v := range got {
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("trial %d: hill spends %d of %d", trial, sum, total)
+		}
+		gc := WeightedMiss.Cost(req, got)
+		wc := WeightedMiss.Cost(req, want)
+		if gc > wc+1e-9*(1+math.Abs(wc)) {
+			t.Fatalf("trial %d: hill cost %.9g > dp cost %.9g\nhill %v\ndp   %v\nweights %v",
+				trial, gc, wc, got, want, req.Weights)
+		}
+	}
+}
+
+// TestUniformRequestMatchesLegacy pins the refactor's core promise: a
+// plain Request (no weights, floors, or caps) through every weighted
+// algorithm is byte-identical to the legacy function it replaced, across
+// a matrix of partition counts, budgets, and granules — including
+// budgets with sub-granule residue and flat curves that exercise the
+// leftover paths.
+func TestUniformRequestMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type pair struct {
+		name   string
+		newFn  func(Request) ([]int64, error)
+		legacy func([]*curve.Curve, int64, int64) ([]int64, error)
+	}
+	pairs := []pair{
+		{"hill", WeightedHillClimb, HillClimb},
+		{"lookahead", WeightedLookahead, Lookahead},
+		{"optimal", WeightedOptimalDP, OptimalDP},
+		{"fair", WeightedFair, func(c []*curve.Curve, tot, g int64) ([]int64, error) {
+			return Fair(len(c), tot, g)
+		}},
+	}
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(5)
+		granule := int64(1 + rng.Intn(256))
+		total := granule*int64(rng.Intn(40)) + int64(rng.Intn(int(granule)))
+		curves := make([]*curve.Curve, n)
+		for i := range curves {
+			if rng.Intn(5) == 0 {
+				// Flat curve: exercises the round-robin leftover path.
+				h := rng.Float64() * 5
+				curves[i] = curve.MustNew([]curve.Point{{Size: 0, MPKI: h}, {Size: float64(total + 1), MPKI: h}})
+			} else {
+				curves[i] = randConvexCurve(rng, max(total, 2), 2+rng.Intn(6))
+			}
+		}
+		req := NewRequest(curves, total, granule)
+		for _, p := range pairs {
+			got, gerr := p.newFn(req)
+			want, werr := p.legacy(curves, total, granule)
+			if (gerr == nil) != (werr == nil) {
+				t.Fatalf("trial %d %s: error mismatch: %v vs %v", trial, p.name, gerr, werr)
+			}
+			if gerr != nil {
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d %s (n=%d total=%d granule=%d):\nrequest %v\nlegacy  %v",
+						trial, p.name, n, total, granule, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRequestConstraints exercises floors, caps, and their validation.
+func TestRequestConstraints(t *testing.T) {
+	c := func() *curve.Curve {
+		return curve.MustNew([]curve.Point{{Size: 0, MPKI: 20}, {Size: 4096, MPKI: 1}})
+	}
+	base := Request{Curves: []*curve.Curve{c(), c()}, Total: 4096, Granule: 128}
+
+	t.Run("floor honored", func(t *testing.T) {
+		req := base
+		req.MinLines = []int64{0, 1024}
+		out, err := WeightedHillClimb(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[1] < 1024 {
+			t.Fatalf("floor violated: %v", out)
+		}
+		if out[0]+out[1] != req.Total {
+			t.Fatalf("budget not spent: %v", out)
+		}
+	})
+	t.Run("cap honored", func(t *testing.T) {
+		req := base
+		req.MaxLines = []int64{512, 0}
+		for name, fn := range map[string]func(Request) ([]int64, error){
+			"hill": WeightedHillClimb, "lookahead": WeightedLookahead, "dp": WeightedOptimalDP,
+		} {
+			out, err := fn(req)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if out[0] > 512 {
+				t.Fatalf("%s: cap violated: %v", name, out)
+			}
+			if out[0]+out[1] != req.Total {
+				t.Fatalf("%s: budget not spent: %v", name, out)
+			}
+		}
+	})
+	t.Run("weight pulls capacity", func(t *testing.T) {
+		// Identical curves: uniform weights split evenly-ish; weighting
+		// partition 1 by 8 must shift lines toward it.
+		req := base
+		uniform, err := WeightedHillClimb(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Weights = []float64{1, 8}
+		weighted, err := WeightedHillClimb(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weighted[1] <= uniform[1] {
+			t.Fatalf("8× weight did not attract capacity: uniform %v weighted %v", uniform, weighted)
+		}
+	})
+	t.Run("validation", func(t *testing.T) {
+		bad := []Request{
+			{Curves: base.Curves, Total: 4096, Granule: 128, Weights: []float64{1}},
+			{Curves: base.Curves, Total: 4096, Granule: 128, Weights: []float64{1, -2}},
+			{Curves: base.Curves, Total: 4096, Granule: 128, Weights: []float64{1, math.NaN()}},
+			{Curves: base.Curves, Total: 4096, Granule: 128, MinLines: []int64{4000, 4000}},
+			{Curves: base.Curves, Total: 4096, Granule: 128, MaxLines: []int64{100, 100}},
+			{Curves: base.Curves, Total: 4096, Granule: 128, MinLines: []int64{0, 600}, MaxLines: []int64{4096, 500}},
+		}
+		for i, req := range bad {
+			if _, err := WeightedHillClimb(req); err == nil {
+				t.Errorf("bad request %d accepted", i)
+			}
+		}
+	})
+}
+
+func TestObjectiveRegistry(t *testing.T) {
+	c := curve.MustNew([]curve.Point{{Size: 0, MPKI: 10}, {Size: 1000, MPKI: 2}})
+	req := Request{Curves: []*curve.Curve{c, c}, Total: 1000, Granule: 100, Weights: []float64{1, 3}}
+	allocn := []int64{500, 500}
+	if got, want := MinMiss.Cost(req, allocn), TotalMPKI(req.Curves, allocn); got != want {
+		t.Fatalf("MinMiss = %g, want %g", got, want)
+	}
+	wantW := c.Eval(500) + 3*c.Eval(500)
+	if got := WeightedMiss.Cost(req, allocn); math.Abs(got-wantW) > 1e-12 {
+		t.Fatalf("WeightedMiss = %g, want %g", got, wantW)
+	}
+	// Uniform request: the two objectives agree.
+	req.Weights = nil
+	if MinMiss.Cost(req, allocn) != WeightedMiss.Cost(req, allocn) {
+		t.Fatal("uniform WeightedMiss must equal MinMiss")
+	}
+	for name, want := range map[string]Objective{
+		"min-miss": MinMiss, "miss": MinMiss,
+		"weighted-miss": WeightedMiss, "qos": WeightedMiss,
+	} {
+		got, err := ObjectiveByName(name)
+		if err != nil {
+			t.Fatalf("ObjectiveByName(%q): %v", name, err)
+		}
+		if got.Name() != want.Name() {
+			t.Fatalf("ObjectiveByName(%q) = %s, want %s", name, got.Name(), want.Name())
+		}
+	}
+	if _, err := ObjectiveByName("fairness"); err == nil {
+		t.Fatal("unknown objective must error")
+	}
+}

@@ -1,0 +1,57 @@
+package curve
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistance(t *testing.T) {
+	a := MustNew([]Point{{Size: 0, MPKI: 10}, {Size: 1000, MPKI: 2}})
+	same := MustNew([]Point{{Size: 0, MPKI: 10}, {Size: 500, MPKI: 6}, {Size: 1000, MPKI: 2}})
+	zero := MustNew([]Point{{Size: 0, MPKI: 0}, {Size: 1000, MPKI: 0}})
+
+	if d := Distance(a, a); d != 0 {
+		t.Fatalf("Distance(a,a) = %g", d)
+	}
+	// Identical function on a refined grid: still zero.
+	if d := Distance(a, same); d > 1e-12 {
+		t.Fatalf("Distance(a, refined a) = %g", d)
+	}
+	if d := Distance(nil, nil); d != 0 {
+		t.Fatalf("Distance(nil,nil) = %g", d)
+	}
+	if d := Distance(a, nil); d != 1 {
+		t.Fatalf("Distance(a,nil) = %g", d)
+	}
+	if d := Distance(nil, a); d != 1 {
+		t.Fatalf("Distance(nil,a) = %g", d)
+	}
+	// A vanished partition whose last curve was flat zero is not churn.
+	if d := Distance(nil, zero); d != 0 {
+		t.Fatalf("Distance(nil,zero) = %g", d)
+	}
+	if d := Distance(a, zero); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Distance(a,zero) = %g, want 1 (no overlap)", d)
+	}
+	// Scaling the whole curve by 2: gap = mass/2 ⇒ distance 0.5.
+	twice := MustNew([]Point{{Size: 0, MPKI: 20}, {Size: 1000, MPKI: 4}})
+	if d := Distance(a, twice); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("Distance(a, 2a) = %g, want 0.5", d)
+	}
+	// Symmetry and range on assorted pairs.
+	b := MustNew([]Point{{Size: 0, MPKI: 7}, {Size: 300, MPKI: 7}, {Size: 900, MPKI: 1}})
+	for _, pair := range [][2]*Curve{{a, b}, {a, twice}, {b, zero}, {same, b}} {
+		d1, d2 := Distance(pair[0], pair[1]), Distance(pair[1], pair[0])
+		if math.Abs(d1-d2) > 1e-12 {
+			t.Fatalf("asymmetric: %g vs %g", d1, d2)
+		}
+		if d1 < 0 || d1 > 1 {
+			t.Fatalf("out of range: %g", d1)
+		}
+	}
+	// A small perturbation must register as small churn, not zero.
+	nudged := MustNew([]Point{{Size: 0, MPKI: 10.2}, {Size: 1000, MPKI: 2}})
+	if d := Distance(a, nudged); d <= 0 || d > 0.05 {
+		t.Fatalf("Distance(a, nudged) = %g, want small positive", d)
+	}
+}

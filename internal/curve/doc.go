@@ -11,4 +11,8 @@
 // that Theorem 4's scaling transform (which produces fractional sizes such
 // as ρ·α) stays exact; concrete cache configurations round to whole lines
 // at the last moment.
+//
+// Distance measures how much two curves differ (normalized L1 over the
+// union size range, in [0, 1]) — the epoch-to-epoch churn signal the
+// adaptive self-tuner steers by.
 package curve

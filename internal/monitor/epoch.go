@@ -73,5 +73,15 @@ func (e *EpochMonitor) EpochCurve(unitsThisEpoch float64) (*curve.Curve, error) 
 // Retain returns the configured EWMA retention factor.
 func (e *EpochMonitor) Retain() float64 { return e.retain }
 
+// SetRetain changes the EWMA retention factor for subsequent epochs
+// (the self-tuning controller adapts it with the epoch length). Values
+// outside (0, 1) are ignored. Serialize with EpochCurve: retain is read
+// only inside the epoch step.
+func (e *EpochMonitor) SetRetain(retain float64) {
+	if retain > 0 && retain < 1 {
+		e.retain = retain
+	}
+}
+
 // Monitor exposes the underlying LRUMonitor bank.
 func (e *EpochMonitor) Monitor() *LRUMonitor { return e.mon }

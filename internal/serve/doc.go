@@ -16,6 +16,8 @@
 //	DELETE /v1/cache/{tenant}/{key}   → remove value (204; 404 if absent)
 //	GET    /v1/stats                  → per-tenant counters + cache totals
 //	GET    /v1/curves                 → per-tenant measured + hulled curves
+//	GET    /v1/control                → control-loop state: churn, epoch budget, weights, bounds
+//	PUT    /v1/control/tenants/{tenant} → {"weight": w} adjusts the tenant's objective weight
 //	POST   /v1/record                 → {"action":"start","path":...,"gzip":bool} | {"action":"stop"}
 //
 // Keys may contain slashes ({key...} pattern).
@@ -44,7 +46,8 @@
 //	     cap — already has a tenant; retry against an existing one)
 //	502  store.ErrBackend (the backing tier behind a bounded store failed)
 //	400  store.ErrEmptyTenant/ErrEmptyKey, malformed /v1/record requests,
-//	     store.ErrRecording/ErrNotRecording (start while active / stop while idle)
+//	     store.ErrRecording/ErrNotRecording (start while active / stop while idle),
+//	     malformed or negative /v1/control weight bodies
 //
 // # Bounded-store stats
 //
@@ -69,4 +72,22 @@
 // {"recording":true,"path":...}; successful stops answer
 // {"recording":false,"records":N} with the number of accesses captured.
 // TestRecordEndpoint and TestHTTPContract pin these bodies.
+//
+// # The control plane
+//
+// GET /v1/control is read-only and always served: the epoch
+// controller's live state (epoch count, measured curve churn, the
+// self-tuner's current epoch budget and retention, allocator name,
+// per-partition allocations and weights) plus one row per tenant
+// (weight, line bounds, current allocation). Mutation is gated like
+// recording: unless the handler is configured with Config.Control
+// (talus-serve -control), PUT /v1/control/tenants/{tenant} refuses
+// every request with status 403 and the exact body
+//
+//	{"error": "control disabled: the server was started without the control plane enabled"}
+//
+// With the gate open, the PUT body {"weight": w} (w ≥ 0) adjusts the
+// named tenant's objective weight live — the next epoch allocates
+// under the new objective — answering {"tenant":...,"weight":w};
+// unknown tenants are 404 and never minted.
 package serve

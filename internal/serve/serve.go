@@ -29,6 +29,13 @@ type Config struct {
 	// a bare file inside the directory; path separators and ".." are
 	// rejected.
 	RecordDir string
+	// Control enables PUT /v1/control/tenants/{tenant}: live adjustment
+	// of tenant objective weights. Off by default and gated exactly like
+	// /v1/record — reweighting tenants shifts cache capacity between
+	// them, so it must be an explicit operator decision, never a default
+	// an unauthenticated client can reach. GET /v1/control (read-only
+	// state) is always served.
+	Control bool
 }
 
 // Handler serves the store over HTTP.
@@ -36,6 +43,7 @@ type Handler struct {
 	st        *store.Store
 	maxValue  int64
 	recordDir string
+	control   bool
 	mux       *http.ServeMux
 }
 
@@ -44,12 +52,14 @@ func NewHandler(st *store.Store, cfg Config) *Handler {
 	if cfg.MaxValueBytes <= 0 {
 		cfg.MaxValueBytes = DefaultMaxValueBytes
 	}
-	h := &Handler{st: st, maxValue: cfg.MaxValueBytes, recordDir: cfg.RecordDir, mux: http.NewServeMux()}
+	h := &Handler{st: st, maxValue: cfg.MaxValueBytes, recordDir: cfg.RecordDir, control: cfg.Control, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /v1/cache/{tenant}/{key...}", h.get)
 	h.mux.HandleFunc("PUT /v1/cache/{tenant}/{key...}", h.put)
 	h.mux.HandleFunc("DELETE /v1/cache/{tenant}/{key...}", h.delete)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.HandleFunc("GET /v1/curves", h.curves)
+	h.mux.HandleFunc("GET /v1/control", h.controlState)
+	h.mux.HandleFunc("PUT /v1/control/tenants/{tenant}", h.controlTenant)
 	h.mux.HandleFunc("POST /v1/record", h.record)
 	return h
 }
@@ -227,6 +237,48 @@ func (h *Handler) curves(w http.ResponseWriter, r *http.Request) {
 		resp.Tenants = append(resp.Tenants, tc)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// controlState serves GET /v1/control: the epoch controller's live
+// tunables (current epoch budget and interval, last churn measurement,
+// retain) plus every tenant's weight, bounds, and allocation. Read-only,
+// so it is always available, like /v1/stats.
+func (h *Handler) controlState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.st.Control())
+}
+
+// controlTenantRequest is the PUT /v1/control/tenants/{tenant} body.
+type controlTenantRequest struct {
+	Weight float64 `json:"weight"`
+}
+
+// controlTenant serves PUT /v1/control/tenants/{tenant}: sets a
+// registered tenant's objective weight. Gated behind Config.Control the
+// way /v1/record is gated behind its record directory.
+func (h *Handler) controlTenant(w http.ResponseWriter, r *http.Request) {
+	if !h.control {
+		writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": "control disabled: the server was started without the control plane enabled"})
+		return
+	}
+	var req controlTenantRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad control request: " + err.Error()})
+		return
+	}
+	if req.Weight < 0 {
+		// JSON cannot carry NaN/Inf, so a sign check is the whole of the
+		// value validation the adaptive layer would otherwise reject.
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("weight %g must be non-negative", req.Weight)})
+		return
+	}
+	tenant := r.PathValue("tenant")
+	if err := h.st.SetTenantWeight(tenant, req.Weight); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "weight": req.Weight})
 }
 
 // recordRequest is the /v1/record body.

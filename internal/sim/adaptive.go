@@ -62,6 +62,14 @@ type AdaptiveConfig struct {
 	// Margin is the Talus safety margin: 0 selects the paper's
 	// DefaultMargin (5%); negative disables it.
 	Margin float64
+	// Weights gives each app's partition an objective weight (see
+	// alloc.Request.Weights); nil means uniform. Length must match Apps.
+	Weights []float64
+	// SelfTune enables the churn-driven epoch controller (see
+	// adaptive.Config.SelfTune); MinEpoch/MaxEpoch bound its budget.
+	SelfTune bool
+	MinEpoch int64
+	MaxEpoch int64
 
 	AccessesPerApp int64 // traffic per app; 0 → 4M
 	BatchLen       int   // accesses per AccessBatch call; 0 → 2048
@@ -97,6 +105,9 @@ func (c *AdaptiveConfig) defaults() error {
 	if c.TailFrac <= 0 || c.TailFrac > 1 {
 		c.TailFrac = 0.5
 	}
+	if c.Weights != nil && len(c.Weights) != len(c.Apps) {
+		return fmt.Errorf("sim: %d weights for %d apps", len(c.Weights), len(c.Apps))
+	}
 	return nil
 }
 
@@ -129,6 +140,10 @@ func RunAdaptive(cfg AdaptiveConfig) (*AdaptiveResult, error) {
 			Retain:        cfg.Retain,
 			Allocator:     allocator,
 			Seed:          cfg.Seed,
+			Weights:       cfg.Weights,
+			SelfTune:      cfg.SelfTune,
+			MinEpoch:      cfg.MinEpoch,
+			MaxEpoch:      cfg.MaxEpoch,
 		})
 	if err != nil {
 		return nil, err

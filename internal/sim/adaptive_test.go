@@ -83,7 +83,7 @@ func oracleMissRatio(t *testing.T, specs []workload.Spec, seed uint64) float64 {
 	}
 	budget := inner.PartitionableCapacity()
 	granule := budget / 64
-	allocs, err := alloc.HillClimbAllocator.Allocate(core.Convexify(curves), budget, granule)
+	allocs, err := alloc.HillClimbAllocator.Allocate(alloc.NewRequest(core.Convexify(curves), budget, granule))
 	if err != nil {
 		t.Fatal(err)
 	}

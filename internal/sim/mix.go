@@ -189,7 +189,7 @@ func allocate(mode Mode, curves []*curve.Curve, budget, granule int64) ([]int64,
 	if convexify {
 		curves = core.Convexify(curves)
 	}
-	return a.Allocate(curves, budget, granule)
+	return a.Allocate(alloc.NewRequest(curves, budget, granule))
 }
 
 // AppSpace offsets each app's (or tenant's) addresses into a disjoint

@@ -105,6 +105,24 @@ type Config struct {
 	// MaxTenants caps how many tenants may ever register (pre-declared
 	// plus auto-registered); 0 bounds them only by the partition count.
 	MaxTenants int
+	// Weights gives tenants objective weights in the allocator's Request
+	// (see alloc.Request.Weights): a weight-4 tenant's saved miss counts
+	// four times a weight-1 tenant's. Applied when the named tenant
+	// registers (at New for pre-declared tenants, at first Set for
+	// auto-registered ones); tenants not named weigh 1. Adjustable at
+	// runtime via SetTenantWeight.
+	Weights map[string]float64
+	// LineBounds gives tenants per-partition allocation floors and caps
+	// in cache lines (see alloc.Request.MinLines/MaxLines), applied like
+	// Weights when the named tenant registers. A zero Max means
+	// unbounded.
+	LineBounds map[string]LineBounds
+}
+
+// LineBounds is one tenant's allocation floor and cap in cache lines.
+type LineBounds struct {
+	Min int64 `json:"min"`
+	Max int64 `json:"max"` // 0 = unbounded
 }
 
 // TenantStats reports one tenant's serving counters. CacheHits and
@@ -121,7 +139,7 @@ type TenantStats struct {
 	HitRatio    float64 `json:"hitRatio"` // CacheHits / (CacheHits+CacheMisses)
 	Keys        int64   `json:"keys"`
 	Bytes       int64   `json:"bytes"`
-	AllocLines  int64   `json:"allocLines"` // current partition allocation
+	AllocLines  int64   `json:"alloc_lines"` // current partition allocation
 
 	// Bounded-mode counters (zero when the store is unbounded).
 	Evictions   int64   `json:"evictions"`   // values released by line eviction
@@ -226,6 +244,25 @@ func New(ac *adaptive.Cache, cfg Config) (*Store, error) {
 			chunk: make([]*batchOp, 0, s.batchSize),
 			addrs: make([]uint64, 0, s.batchSize),
 			hits:  make([]bool, s.batchSize),
+		}
+	}
+	// Validate the per-tenant control settings up front: a bad weight
+	// must fail construction, not the unlucky auto-registering Set that
+	// would otherwise trip over it later.
+	for name, w := range cfg.Weights {
+		if name == "" {
+			return nil, fmt.Errorf("%w: weight for empty tenant name", ErrEmptyTenant)
+		}
+		if w < 0 || w != w || w-w != 0 { // negative, NaN, or ±Inf
+			return nil, fmt.Errorf("store: weight %g for tenant %q (need finite, non-negative)", w, name)
+		}
+	}
+	for name, b := range cfg.LineBounds {
+		if name == "" {
+			return nil, fmt.Errorf("%w: line bounds for empty tenant name", ErrEmptyTenant)
+		}
+		if b.Min < 0 || b.Max < 0 || (b.Max > 0 && b.Max < b.Min) {
+			return nil, fmt.Errorf("store: bad line bounds [%d, %d] for tenant %q", b.Min, b.Max, name)
 		}
 	}
 	// Serving traffic is concurrent by nature: switch the cache stack
@@ -333,6 +370,19 @@ func (s *Store) register(name string) (*tenant, error) {
 		// Deterministic per-partition seed: admission decisions replay
 		// identically across runs and across batched/unbatched stores.
 		t.admit = hash.NewSampler(0xAD417 ^ uint64(part)*0x9E3779B97F4A7C15)
+	}
+	// Thread the tenant's configured control settings into the claimed
+	// partition. Values were validated at New; a tenant without entries
+	// leaves the allocator's Request untouched (uniform objective).
+	if w, ok := s.cfg.Weights[name]; ok {
+		if err := s.ac.SetWeight(part, w); err != nil {
+			return nil, err
+		}
+	}
+	if b, ok := s.cfg.LineBounds[name]; ok {
+		if err := s.ac.SetPartitionLines(part, b.Min, b.Max); err != nil {
+			return nil, err
+		}
 	}
 	s.tenants[name] = t
 	s.byPart[part] = t
@@ -683,6 +733,72 @@ func (s *Store) Curves(tenantName string) (measured, hulled *curve.Curve, err er
 		return nil, nil, nil
 	}
 	return measured, hull.Lower(measured), nil
+}
+
+// SetTenantWeight adjusts a registered tenant's objective weight at
+// runtime (see Config.Weights); the new weight takes effect at the next
+// epoch's allocation. Never auto-registers: naming an unknown tenant
+// fails with ErrUnknownTenant.
+func (s *Store) SetTenantWeight(tenantName string, w float64) error {
+	t, err := s.resolve(tenantName, false)
+	if err != nil {
+		return err
+	}
+	return s.ac.SetWeight(t.part, w)
+}
+
+// TenantControl is one tenant's row in the control-plane snapshot: its
+// partition, live objective weight, configured line bounds, and current
+// allocation.
+type TenantControl struct {
+	Tenant     string  `json:"tenant"`
+	Partition  int     `json:"partition"`
+	Weight     float64 `json:"weight"`
+	MinLines   int64   `json:"min_lines,omitempty"`
+	MaxLines   int64   `json:"max_lines,omitempty"`
+	AllocLines int64   `json:"alloc_lines"`
+}
+
+// ControlState is the store's control-plane snapshot: the adaptive
+// loop's controller state plus per-tenant weight/bounds/allocation rows
+// (sorted by tenant name for stable output). Served at /v1/control.
+type ControlState struct {
+	adaptive.ControllerState
+	Tenants []TenantControl `json:"tenants"`
+}
+
+// Control snapshots the control plane: epoch controller tunables, last
+// churn measurement, and every registered tenant's weight and
+// allocation.
+func (s *Store) Control() ControlState {
+	cs := ControlState{ControllerState: s.ac.Controller()}
+	s.mu.RLock()
+	ts := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.byPart {
+		if t != nil {
+			ts = append(ts, t)
+		}
+	}
+	s.mu.RUnlock()
+	cs.Tenants = make([]TenantControl, 0, len(ts))
+	for _, t := range ts {
+		row := TenantControl{Tenant: t.name, Partition: t.part, Weight: 1}
+		if cs.Weights != nil && t.part < len(cs.Weights) {
+			row.Weight = cs.Weights[t.part]
+		}
+		if cs.MinLines != nil && t.part < len(cs.MinLines) {
+			row.MinLines = cs.MinLines[t.part]
+		}
+		if cs.MaxLines != nil && t.part < len(cs.MaxLines) {
+			row.MaxLines = cs.MaxLines[t.part]
+		}
+		if t.part < len(cs.Allocations) {
+			row.AllocLines = cs.Allocations[t.part]
+		}
+		cs.Tenants = append(cs.Tenants, row)
+	}
+	sort.Slice(cs.Tenants, func(i, j int) bool { return cs.Tenants[i].Tenant < cs.Tenants[j].Tenant })
+	return cs
 }
 
 // Cache exposes the underlying adaptive runtime (allocations, epochs,

@@ -40,6 +40,8 @@ type options struct {
 
 	// Store-only knobs (ignored by New).
 	tenants       []string
+	weights       map[string]float64
+	lineBounds    map[string]store.LineBounds
 	staticTenants bool
 	maxValueBytes int64
 	batchSize     int
@@ -109,6 +111,56 @@ func WithAllocator(a Allocator) Option { return func(o *options) { o.acfg.Alloca
 // time. Caches built with it must be Closed to stop the ticker.
 func WithEpochInterval(d time.Duration) Option {
 	return func(o *options) { o.acfg.EpochInterval = d }
+}
+
+// WithWeights sets per-partition objective weights for the allocator
+// (one per partition, in partition order): each epoch minimizes
+// Σ wᵢ·missesᵢ instead of raw misses, so a weight-4 partition's misses
+// count 4× and it attracts capacity until its weighted marginal gain
+// drops to its neighbors'. Uniform weights (or none) reproduce the
+// unweighted allocation exactly. For tenant-name weights at the store
+// layer use WithTenantWeight.
+func WithWeights(w ...float64) Option { return func(o *options) { o.acfg.Weights = w } }
+
+// WithSelfTuning enables the churn-driven epoch controller: when
+// successive measured miss curves stop changing (churn below the low
+// watermark for two epochs) the epoch budget doubles — fewer, cheaper
+// reconfigurations — and when a phase change spikes churn it halves
+// back, bounded by [minEpoch, maxEpoch] accesses. Zero bounds select
+// the defaults (the base epoch budget and 16× it). Live state is
+// visible via Controller() and GET /v1/control.
+func WithSelfTuning(minEpoch, maxEpoch int64) Option {
+	return func(o *options) {
+		o.acfg.SelfTune = true
+		o.acfg.MinEpoch = minEpoch
+		o.acfg.MaxEpoch = maxEpoch
+	}
+}
+
+// WithTenantWeight sets the named tenant's objective weight (NewStore
+// only; see WithWeights for semantics). The weight attaches when the
+// tenant claims its partition — at build for pre-declared tenants, at
+// first request for auto-registered ones — and can be adjusted at run
+// time with Store.SetTenantWeight or PUT /v1/control/tenants/{tenant}.
+func WithTenantWeight(tenant string, w float64) Option {
+	return func(o *options) {
+		if o.weights == nil {
+			o.weights = make(map[string]float64)
+		}
+		o.weights[tenant] = w
+	}
+}
+
+// WithTenantLines bounds the named tenant's allocation to [min, max]
+// cache lines (NewStore only): the floor is a capacity guarantee, the
+// cap a ceiling no amount of demand exceeds. max 0 means uncapped.
+func WithTenantLines(tenant string, min, max int64) Option {
+	return func(o *options) {
+		if o.lineBounds == nil {
+			o.lineBounds = make(map[string]store.LineBounds)
+		}
+		o.lineBounds[tenant] = store.LineBounds{Min: min, Max: max}
+	}
 }
 
 // WithTenants pre-registers tenant names onto the first partitions
@@ -311,6 +363,8 @@ func NewStore(opts ...Option) (*Store, error) {
 	}
 	return store.New(ac, store.Config{
 		Tenants:       o.tenants,
+		Weights:       o.weights,
+		LineBounds:    o.lineBounds,
 		Static:        o.staticTenants,
 		MaxValueBytes: o.maxValueBytes,
 		BatchSize:     o.batchSize,
@@ -323,15 +377,18 @@ func NewStore(opts ...Option) (*Store, error) {
 }
 
 // ServeConfig parameterizes the HTTP front-end handler: the PUT body
-// cap (0 → 1 MiB) and the directory trace captures may be written into
+// cap (0 → 1 MiB), the directory trace captures may be written into
 // (empty keeps POST /v1/record disabled — it writes server-side files,
-// so enabling it is an explicit operator decision).
+// so enabling it is an explicit operator decision), and the Control
+// gate for the mutating control plane (false keeps
+// PUT /v1/control/tenants/{tenant} disabled; the read-only
+// GET /v1/control is always served).
 type ServeConfig = serve.Config
 
 // NewServeHandler returns the stdlib HTTP front-end over st — the same
 // handler cmd/talus-serve mounts (GET/PUT/DELETE /v1/cache/{tenant}/{key},
-// /v1/stats, /v1/curves, /v1/record) — for embedding in an existing
-// server.
+// /v1/stats, /v1/curves, /v1/control, /v1/record) — for embedding in
+// an existing server.
 func NewServeHandler(st *Store, cfg ServeConfig) http.Handler {
 	return serve.NewHandler(st, cfg)
 }

@@ -52,6 +52,7 @@ import (
 	"talus/internal/curve"
 	"talus/internal/hull"
 	"talus/internal/sim"
+	"talus/internal/store"
 	"talus/internal/workload"
 )
 
@@ -90,10 +91,29 @@ type (
 	Mode = sim.Mode
 	// Allocator is the pluggable capacity-partitioning policy interface.
 	Allocator = alloc.Allocator
+	// AllocRequest is one capacity-allocation problem: per-partition
+	// hulls plus the total/granule budget and optional per-partition
+	// Weights, MinLines floors, and MaxLines caps. Build uniform
+	// requests with NewAllocRequest.
+	AllocRequest = alloc.Request
+	// Objective scores an allocation against a request — the quantity
+	// allocators minimize. See MinMiss, WeightedMiss, ObjectiveByName.
+	Objective = alloc.Objective
 	// AdaptiveCache is the online monitor→hull→Talus→allocator loop.
 	AdaptiveCache = adaptive.Cache
 	// AdaptiveConfig parameterizes the adaptive control loop.
 	AdaptiveConfig = adaptive.Config
+	// ControllerState is one read-only snapshot of the control loop:
+	// epoch count, measured curve churn, the self-tuner's live epoch
+	// budget and retention, and current allocations/weights.
+	ControllerState = adaptive.ControllerState
+	// ControlState is the store-level control snapshot: ControllerState
+	// plus per-tenant weight/bounds/allocation rows (GET /v1/control).
+	ControlState = store.ControlState
+	// TenantControl is one tenant's row in a ControlState.
+	TenantControl = store.TenantControl
+	// LineBounds is a tenant's [Min, Max] allocation bound in lines.
+	LineBounds = store.LineBounds
 	// AdaptiveRunConfig parameterizes RunAdaptive experiments.
 	AdaptiveRunConfig = sim.AdaptiveConfig
 	// AdaptiveRunResult reports an adaptive run's steady-state outcomes.
@@ -115,6 +135,32 @@ var (
 // AllocatorByName resolves "hill", "lookahead", "fair", or "optimal" to
 // its shared Allocator value.
 func AllocatorByName(name string) (Allocator, error) { return alloc.ByName(name) }
+
+// Shared objective values (stateless and goroutine-safe).
+var (
+	// MinMiss scores an allocation by total MPKI — the classic
+	// minimize-overall-misses objective every unweighted allocator
+	// optimizes.
+	MinMiss = alloc.MinMiss
+	// WeightedMiss scores by Σ wᵢ·MPKIᵢ using the request's weights —
+	// the QoS objective behind WithWeights/WithTenantWeight.
+	WeightedMiss = alloc.WeightedMiss
+)
+
+// ObjectiveByName resolves "min-miss" or "weighted-miss" (alias
+// "weighted", "qos") to its shared Objective value.
+func ObjectiveByName(name string) (Objective, error) { return alloc.ObjectiveByName(name) }
+
+// NewAllocRequest builds the uniform AllocRequest — no weights, floors,
+// or caps — equivalent to the plain (curves, total, granule) call.
+func NewAllocRequest(curves []*MissCurve, total, granule int64) AllocRequest {
+	return alloc.NewRequest(curves, total, granule)
+}
+
+// CurveDistance measures how much two miss curves differ, normalized to
+// [0, 1]: ∫|a−b| over ∫max(a,b) across their union size range. The
+// adaptive self-tuner uses it as the epoch-to-epoch churn signal.
+func CurveDistance(a, b *MissCurve) float64 { return curve.Distance(a, b) }
 
 // DefaultMargin is the paper's 5% sampling-rate safety margin (§VI-B).
 const DefaultMargin = core.DefaultMargin
