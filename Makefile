@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt vet examples bench-smoke bench-serving bench-serving-mp bench-serving-matrix bench-compare profile-serving
+.PHONY: all build test race check fmt vet examples bench-smoke bench-serving bench-serving-mp bench-serving-matrix bench-compare profile-serving cluster-demo cluster-e2e
 
 all: check test
 
@@ -78,3 +78,13 @@ profile-serving:
 		-o $(PROFILE_DIR)/serving.test .
 	@echo "wrote $(PROFILE_DIR)/serving.{cpu,mem}.pprof; inspect with:"
 	@echo "  go tool pprof $(PROFILE_DIR)/serving.test $(PROFILE_DIR)/serving.cpu.pprof"
+
+# cluster-demo runs the 3-node ring + closed-loop load shape in one
+# process (examples/cluster); cluster-e2e runs the acceptance tests —
+# deterministic routing on a live 3-node fleet and the 3-node vs
+# single-node-at-3x hit-ratio comparison — race-clean.
+cluster-demo:
+	$(GO) run ./examples/cluster
+
+cluster-e2e:
+	$(GO) test -race -run 'TestCluster' ./internal/serve ./internal/loadgen

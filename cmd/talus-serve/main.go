@@ -16,6 +16,16 @@
 //	            [-backend mem] [-backend-latency 0s]
 //	            [-weights gold=4,bronze=1] [-control]
 //	            [-self-tune] [-min-epoch n] [-max-epoch n]
+//	            [-route host1:p1,host2:p2,...] [-self host:port]
+//	            [-vnodes n] [-ring-seed s] [-node-id id]
+//	            [-default-ttl 0s]
+//
+// With -route the node joins a cluster: every member shares the same
+// -route list (and -vnodes/-ring-seed), each names itself with -self
+// (defaulting to its listen address), and a consistent-hash ring
+// assigns every (tenant, key) an owner. Requests arriving at a
+// non-owner are forwarded one hop and relayed — any node can serve any
+// key, so clients need no routing logic.
 //
 // With -max-bytes and/or -backend the store is a true bounded cache:
 // values die when their simulated lines are evicted, writes pass the
@@ -26,8 +36,9 @@
 // Routes:
 //
 //	GET/PUT/DELETE /v1/cache/{tenant}/{key}    keyed bytes (X-Talus-Cache: hit|miss)
-//	GET  /v1/stats                             per-tenant counters + allocations
+//	GET  /v1/stats                             per-tenant counters + allocations + node identity
 //	GET  /v1/curves                            live measured + hulled miss curves
+//	GET  /v1/cluster                           ring membership, vnode count, per-node key share
 //	GET  /v1/control                           control-loop state: churn, epoch budget, weights
 //	PUT  /v1/control/tenants/{tenant}          adjust a tenant's weight (needs -control)
 //	POST /v1/record                            start/stop trace capture (needs -record-dir)
@@ -89,6 +100,12 @@ func main() {
 		selfTune   = flag.Bool("self-tune", false, "enable the churn-driven epoch controller")
 		minEpoch   = flag.Int64("min-epoch", 0, "self-tuner's epoch budget floor in accesses (0 = the -epoch budget)")
 		maxEpoch   = flag.Int64("max-epoch", 0, "self-tuner's epoch budget ceiling in accesses (0 = 16x the floor)")
+		route      = flag.String("route", "", "comma-separated cluster membership (host:port,...); enables thin-proxy mode")
+		self       = flag.String("self", "", "this node's own name in -route (default: the -addr, host-completed)")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per cluster member (0 = the ring default)")
+		ringSeed   = flag.Uint64("ring-seed", 0, "consistent-hash ring seed; every node must share it")
+		nodeID     = flag.String("node-id", "", "serving-instance id for stats and X-Talus-Node (default: -self, else hostname-pid)")
+		defaultTTL = flag.Duration("default-ttl", 0, "lifetime for values written without X-Talus-TTL (0 = keep until evicted)")
 	)
 	flag.Parse()
 	cfg := serveFlags{
@@ -101,6 +118,8 @@ func main() {
 		backend: *backend, backendLat: *backendLat,
 		weights: *weights, control: *control,
 		selfTune: *selfTune, minEpoch: *minEpoch, maxEpoch: *maxEpoch,
+		route: *route, self: *self, vnodes: *vnodes, ringSeed: *ringSeed,
+		nodeID: *nodeID, defaultTTL: *defaultTTL,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "talus-serve: %v\n", err)
@@ -136,6 +155,12 @@ type serveFlags struct {
 	selfTune   bool
 	minEpoch   int64
 	maxEpoch   int64
+	route      string
+	self       string
+	vnodes     int
+	ringSeed   uint64
+	nodeID     string
+	defaultTTL time.Duration
 }
 
 func run(cf serveFlags) error {
@@ -199,6 +224,32 @@ func run(cf serveFlags) error {
 	for tenant, w := range tenantWeights {
 		opts = append(opts, talus.WithTenantWeight(tenant, w))
 	}
+
+	// Cluster mode: -route lists the full membership; this node's own
+	// name defaults to its listen address (host-completed, since peers
+	// cannot dial ":8080").
+	var cl *talus.Cluster
+	selfName := cf.self
+	if cf.route != "" {
+		if selfName == "" {
+			selfName = cf.addr
+			if strings.HasPrefix(selfName, ":") {
+				selfName = "127.0.0.1" + selfName
+			}
+		}
+		cl, err = talus.NewCluster(talus.ClusterConfig{
+			Self: selfName, Nodes: splitTenants(cf.route), VNodes: cf.vnodes, Seed: cf.ringSeed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	nodeID := cf.nodeID
+	if nodeID == "" {
+		nodeID = selfName // empty outside cluster mode: the store derives hostname-pid
+	}
+	opts = append(opts, talus.WithNodeID(nodeID), talus.WithDefaultTTL(cf.defaultTTL))
+
 	st, err := talus.NewStore(opts...)
 	if err != nil {
 		return err
@@ -207,7 +258,7 @@ func run(cf serveFlags) error {
 
 	srv := &http.Server{
 		Addr:              cf.addr,
-		Handler:           talus.NewServeHandler(st, talus.ServeConfig{MaxValueBytes: cf.maxValue, RecordDir: cf.recordDir, Control: cf.control}),
+		Handler:           talus.NewServeHandler(st, talus.ServeConfig{MaxValueBytes: cf.maxValue, RecordDir: cf.recordDir, Control: cf.control, Cluster: cl}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -218,6 +269,9 @@ func run(cf serveFlags) error {
 		mode := "unbounded"
 		if st.Bounded() {
 			mode = fmt.Sprintf("bounded (max-bytes %d, backend %q)", cf.maxBytes, cf.backend)
+		}
+		if cl != nil {
+			mode += fmt.Sprintf(", cluster %s of %d nodes", selfName, len(cl.Ring().Nodes()))
 		}
 		log.Printf("talus-serve: listening on %s (%.1f MB, %d shards, %d partitions, %s/%s, alloc %s, %s)",
 			cf.addr, cf.mb, cf.shards, st.Cache().NumLogical(), cf.scheme, cf.policy, cf.allocName, mode)

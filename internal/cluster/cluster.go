@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ForwardedHeader marks a request as already forwarded once by a peer
+// node. A node receiving it serves locally no matter what its own ring
+// says: if two nodes momentarily disagree about membership, the worst
+// case is one extra hop, never a forwarding loop.
+const ForwardedHeader = "X-Talus-Forwarded"
+
+// Config parameterizes New.
+type Config struct {
+	// Self is this node's own name in Nodes (typically host:port — the
+	// address peers dial it at).
+	Self string
+	// Nodes is the full cluster membership, Self included.
+	Nodes []string
+	// VNodes is the virtual-node count per member (0 = DefaultVNodes).
+	VNodes int
+	// Seed seeds the ring's hashes; every node (and routing client)
+	// must share it.
+	Seed uint64
+	// Timeout bounds one forwarded request (0 = DefaultTimeout).
+	Timeout time.Duration
+	// Retries bounds connection-error re-sends (negative =
+	// DefaultRetries; 0 disables retrying).
+	Retries int
+}
+
+// Cluster binds a Ring to this node's identity and the node-to-node
+// Client: everything the serving layer's proxy mode needs to decide
+// ownership and forward misses-of-ownership. Safe for concurrent use.
+type Cluster struct {
+	ring   *Ring
+	self   string
+	client *Client
+}
+
+// New validates cfg and builds the cluster view. Self must appear in
+// Nodes — a proxy that is not a member would forward every request.
+func New(cfg Config) (*Cluster, error) {
+	ring, err := NewRing(cfg.Nodes, cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: empty self node name")
+	}
+	found := false
+	for _, n := range ring.nodes {
+		if n == cfg.Self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the node list %v", cfg.Self, ring.nodes)
+	}
+	return &Cluster{ring: ring, self: cfg.Self, client: NewClient(cfg.Timeout, cfg.Retries)}, nil
+}
+
+// Self returns this node's own name.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring returns the membership ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Owner returns the node owning (tenant, key).
+func (c *Cluster) Owner(tenant, key string) string { return c.ring.Route(tenant, key) }
+
+// Owns reports whether this node owns (tenant, key).
+func (c *Cluster) Owns(tenant, key string) bool { return c.ring.Route(tenant, key) == c.self }
+
+// Forward relays one request to node and returns its drained response.
+// The ForwardedHeader is stamped on so the owner serves locally.
+func (c *Cluster) Forward(ctx context.Context, method, node, path string, body []byte, hdr http.Header) (*Response, error) {
+	fwd := make(http.Header, len(hdr)+1)
+	for k, vs := range hdr {
+		fwd[k] = vs
+	}
+	fwd.Set(ForwardedHeader, c.self)
+	return c.client.Do(ctx, method, node, path, body, fwd)
+}

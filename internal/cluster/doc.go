@@ -1,0 +1,52 @@
+// Package cluster is the distributed serving tier's routing layer: a
+// consistent-hash ring over talus-serve nodes plus the HTTP client the
+// thin proxy mode uses to forward requests to their owners.
+//
+// # Why a cluster tier at all
+//
+// Talus's whole point is that convexified miss curves make per-node
+// cache performance smooth and predictable (no cliffs). That property
+// pays off at fleet scale: when every node's hit ratio degrades
+// gracefully with load, cross-node capacity planning becomes a simple
+// sum instead of a cliff-hunting exercise. The ring makes the fleet
+// addressable — every (tenant, key) pair has exactly one owner node —
+// and the load harness (internal/loadgen) measures the result instead
+// of asserting it.
+//
+// # The ring
+//
+// Ring hashes each node onto the 64-bit hash circle at VNodes points
+// (virtual nodes; default DefaultVNodes). A key routes to the node
+// owning the first point clockwise from the key's hash. Virtual nodes
+// smooth the per-node key share toward 1/N (relative spread shrinks
+// like 1/sqrt(VNodes)), and consistent hashing bounds churn: adding or
+// removing one of N nodes remaps only the keys the changed node gains
+// or loses — about K/N of K keys, never a full reshuffle.
+// TestRingStability pins both properties.
+//
+// All hashing is seeded and pure (FNV-1a finalized by hash.Mix64 —
+// the GF(2)-linear structure of the store's own key hash does not
+// survive into ring placement), so two processes building a ring from
+// the same node list, vnode count, and seed route every key
+// identically. That determinism is what lets every node in a fleet —
+// and every client — compute ownership locally with no coordination
+// service. TestRingDeterminism pins the routing table bit-for-bit.
+//
+// # The client and proxy mode
+//
+// Client is the node-to-node HTTP client: one keep-alive connection
+// pool shared across requests, a per-request timeout, and a bounded
+// retry that fires only when no HTTP response was received (connection
+// refused, reset, timeout mid-dial). A 5xx from the cache itself is
+// NEVER retried — it is a real answer from the owner (a backend
+// failure maps to 502), and retrying it would double traffic exactly
+// when the fleet is least able to absorb it.
+//
+// Cluster binds a Ring to this node's own identity and a Client:
+// serve.Handler asks Owns(tenant, key) on each cache request and
+// forwards misses-of-ownership to Owner(tenant, key), relaying the
+// owner's status, headers, and body verbatim. Forwarded requests carry
+// the ForwardedHeader; a node receiving one serves locally no matter
+// what its own ring says, so disagreeing ring configurations degrade
+// to one extra hop instead of a forwarding loop.
+package cluster

@@ -1,0 +1,113 @@
+package loadgen
+
+import "math/bits"
+
+// The histogram is HDR-style: fixed integer buckets, exact below 2^5
+// and log-linear above — each power-of-two range splits into 32
+// sub-buckets, bounding relative quantile error at ~3% while Record
+// stays a shift, a subtract, and an array increment. No floats and no
+// allocation on the recording path: each load worker owns one Hist and
+// the runner merges them after the clock stops, so latency capture
+// never contends or distorts the latencies it measures.
+
+const (
+	histSubBits = 5                // 32 sub-buckets per power of two
+	histSub     = 1 << histSubBits // 32
+	// 64-bit values reach exponent 58 (bits.Len64 up to 64), so the
+	// bucket space is (58+1)*32 + 32 exact low buckets rounded up.
+	histBuckets = 1920
+)
+
+// Hist is a fixed-size log-linear latency histogram. Values are
+// dimensionless uint64s; the load generator records microseconds. Not
+// safe for concurrent use — one per worker, merged at the end.
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+}
+
+// bucketOf maps a value to its bucket index, monotone in v.
+func bucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := uint(bits.Len64(v)) - histSubBits - 1
+	return int(exp)<<histSubBits + int(v>>exp)
+}
+
+// bucketValue returns the midpoint of bucket i's value range, the
+// representative reported for quantiles landing in it.
+func bucketValue(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	exp := uint(i)>>histSubBits - 1
+	m := uint64(i) - uint64(exp)<<histSubBits
+	return m<<exp + 1<<exp>>1
+}
+
+// Record adds one observation.
+func (h *Hist) Record(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *Hist) Max() uint64 { return h.max }
+
+// Mean returns the exact mean of recorded values (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the
+// representative of the bucket holding the ceil(q·count)-th smallest
+// observation, clamped to the exact maximum. Returns 0 when empty.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.count {
+		// The top rank is the largest observation, tracked exactly.
+		return h.max
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if v := bucketValue(i); v < h.max {
+				return v
+			}
+			return h.max
+		}
+	}
+	return h.max
+}

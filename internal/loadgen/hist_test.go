@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestBucketMonotone pins that the bucket index never decreases with
+// the value and stays inside the fixed array, over the full 64-bit
+// range (powers of two and their neighbours are the corner cases).
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	probe := func(v uint64) {
+		i := bucketOf(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d outside [0, %d)", v, i, histBuckets)
+		}
+		if i < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous bucket %d", v, i, prev)
+		}
+		prev = i
+	}
+	for v := uint64(0); v < 4096; v++ {
+		probe(v)
+	}
+	for shift := uint(12); shift < 64; shift++ {
+		prev = -1 // separate sweeps; only within-sweep order matters
+		probe(1<<shift - 1)
+		probe(1 << shift)
+		probe(1<<shift + 1)
+	}
+	if bucketOf(^uint64(0)) >= histBuckets {
+		t.Fatal("max uint64 overflows the bucket array")
+	}
+}
+
+// TestBucketValueError pins the log-linear precision contract: the
+// representative value of any value's bucket is within 1/32 (~3%)
+// relative error.
+func TestBucketValueError(t *testing.T) {
+	for shift := uint(0); shift < 63; shift++ {
+		for _, v := range []uint64{1 << shift, 1<<shift + 1<<shift/3, 1<<(shift+1) - 1} {
+			got := bucketValue(bucketOf(v))
+			diff := int64(got - v)
+			if diff < 0 {
+				diff = -diff
+			}
+			if limit := int64(v>>histSubBits) + 1; diff > limit {
+				t.Fatalf("bucketValue(bucketOf(%d)) = %d, off by %d > %d", v, got, diff, limit)
+			}
+		}
+	}
+}
+
+// TestHistQuantiles pins quantiles on a known distribution.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	// 1..1000: exact below 32, ~3% above.
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 || h.Max() != 1000 {
+		t.Fatalf("count %d max %d", h.Count(), h.Max())
+	}
+	checks := []struct {
+		q    float64
+		want uint64
+	}{{0.5, 500}, {0.9, 900}, {0.99, 990}, {0.999, 999}, {1.0, 1000}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo := c.want - c.want>>4 // 6% tolerance: bucket width + rank rounding
+		hi := c.want + c.want>>4
+		if got < lo || got > hi {
+			t.Fatalf("q%.3f = %d, want within [%d, %d]", c.q, got, lo, hi)
+		}
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %v, want 500.5", m)
+	}
+
+	// Merge doubles every count and keeps the max.
+	var m Hist
+	m.Record(5000)
+	m.Merge(&h)
+	if m.Count() != 1001 || m.Max() != 5000 {
+		t.Fatalf("merged count %d max %d", m.Count(), m.Max())
+	}
+	if got := m.Quantile(1.0); got != 5000 {
+		t.Fatalf("merged p100 = %d, want the exact max 5000", got)
+	}
+}
+
+// TestHistNoFloatHotPath is a compile-level reminder more than a test:
+// Record's work is integer-only. It also exercises the extremes.
+func TestHistExtremes(t *testing.T) {
+	var h Hist
+	h.Record(0)
+	h.Record(^uint64(0))
+	if h.Count() != 2 || h.Max() != ^uint64(0) {
+		t.Fatalf("count %d max %d", h.Count(), h.Max())
+	}
+	if got := h.Quantile(1.0); got != ^uint64(0) {
+		t.Fatalf("p100 = %d", got)
+	}
+	if got := h.Quantile(0.25); got != 0 {
+		t.Fatalf("p25 = %d, want 0", got)
+	}
+	_ = bits.Len64 // the histogram's only arithmetic dependency
+}

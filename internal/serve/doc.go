@@ -11,11 +11,12 @@
 // All routes are method-dispatched; wrong methods get 405 with Allow set,
 // unknown paths 404.
 //
-//	GET    /v1/cache/{tenant}/{key}   → stored bytes; X-Talus-Cache: hit|miss
-//	PUT    /v1/cache/{tenant}/{key}   → store body (204); X-Talus-Cache set
+//	GET    /v1/cache/{tenant}/{key}   → stored bytes; X-Talus-Cache: hit|miss; ETag; 304 on If-None-Match
+//	PUT    /v1/cache/{tenant}/{key}   → store body (204); X-Talus-Cache + ETag set; X-Talus-TTL: secs honored
 //	DELETE /v1/cache/{tenant}/{key}   → remove value (204; 404 if absent)
-//	GET    /v1/stats                  → per-tenant counters + cache totals
+//	GET    /v1/stats                  → per-tenant counters + cache totals + node identity
 //	GET    /v1/curves                 → per-tenant measured + hulled curves
+//	GET    /v1/cluster                → ring membership, vnodes, seed, per-node key share
 //	GET    /v1/control                → control-loop state: churn, epoch budget, weights, bounds
 //	PUT    /v1/control/tenants/{tenant} → {"weight": w} adjusts the tenant's objective weight
 //	POST   /v1/record                 → {"action":"start","path":...,"gzip":bool} | {"action":"stop"}
@@ -34,6 +35,33 @@
 // rejected PUT (413 and other errors) has no header because no cache
 // access happened.
 //
+// # ETags, TTLs, and node identity
+//
+// Cache GETs carry a strong ETag — a quoted 16-hex FNV-1a hash of the
+// value bytes, identical for identical bytes on every node — and honor
+// If-None-Match ("*" or any listed tag, weak prefixes ignored) with
+// 304 and no body; successful PUTs return the stored value's tag. PUTs
+// accept X-Talus-TTL with a non-negative integer number of seconds
+// (malformed values are 400), giving the entry a lazy expiry deadline;
+// absent or 0 defers to the store's DefaultTTL. Every locally served
+// cache response names its server in X-Talus-Node — under a proxying
+// cluster that is the ring owner, not the entry node — and /v1/stats
+// carries the same identity in its "node" block (id, pid, start time,
+// GOMAXPROCS).
+//
+// # Cluster proxy mode
+//
+// With Config.Cluster set (talus-serve -route), cache requests whose
+// (tenant, key) the consistent-hash ring assigns to a peer are
+// forwarded there — request headers that matter (If-None-Match,
+// X-Talus-TTL, Content-Type) travel along, the owner's status, body,
+// and response headers are relayed verbatim, and a failed forward is
+// 502. Forwarded requests carry X-Talus-Forwarded and are always
+// served locally by the receiver, so membership disagreement costs at
+// most one extra hop, never a loop. GET /v1/cluster reports the ring
+// (membership, vnode count, seed, analytic per-node key share) and is
+// served in single-node mode too, with "clustered": false.
+//
 // # Errors
 //
 // Error responses are JSON, shaped {"error": "<message>"}, with the
@@ -47,7 +75,8 @@
 //	502  store.ErrBackend (the backing tier behind a bounded store failed)
 //	400  store.ErrEmptyTenant/ErrEmptyKey, malformed /v1/record requests,
 //	     store.ErrRecording/ErrNotRecording (start while active / stop while idle),
-//	     malformed or negative /v1/control weight bodies
+//	     malformed or negative /v1/control weight bodies,
+//	     store.ErrBadTTL and malformed X-Talus-TTL headers
 //
 // # Bounded-store stats
 //

@@ -7,8 +7,11 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
+	"talus/internal/cluster"
 	"talus/internal/curve"
 	"talus/internal/store"
 )
@@ -36,6 +39,12 @@ type Config struct {
 	// an unauthenticated client can reach. GET /v1/control (read-only
 	// state) is always served.
 	Control bool
+	// Cluster, when non-nil, turns on thin-proxy mode: cache requests
+	// whose (tenant, key) this node does not own on the consistent-hash
+	// ring are forwarded to their owner and the owner's response is
+	// relayed verbatim. Nil serves everything locally (single-node
+	// mode). GET /v1/cluster reports the ring either way.
+	Cluster *cluster.Cluster
 }
 
 // Handler serves the store over HTTP.
@@ -44,6 +53,8 @@ type Handler struct {
 	maxValue  int64
 	recordDir string
 	control   bool
+	cluster   *cluster.Cluster
+	nodeID    string
 	mux       *http.ServeMux
 }
 
@@ -52,12 +63,14 @@ func NewHandler(st *store.Store, cfg Config) *Handler {
 	if cfg.MaxValueBytes <= 0 {
 		cfg.MaxValueBytes = DefaultMaxValueBytes
 	}
-	h := &Handler{st: st, maxValue: cfg.MaxValueBytes, recordDir: cfg.RecordDir, control: cfg.Control, mux: http.NewServeMux()}
+	h := &Handler{st: st, maxValue: cfg.MaxValueBytes, recordDir: cfg.RecordDir, control: cfg.Control,
+		cluster: cfg.Cluster, nodeID: st.Node().ID, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /v1/cache/{tenant}/{key...}", h.get)
 	h.mux.HandleFunc("PUT /v1/cache/{tenant}/{key...}", h.put)
 	h.mux.HandleFunc("DELETE /v1/cache/{tenant}/{key...}", h.delete)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.HandleFunc("GET /v1/curves", h.curves)
+	h.mux.HandleFunc("GET /v1/cluster", h.clusterState)
 	h.mux.HandleFunc("GET /v1/control", h.controlState)
 	h.mux.HandleFunc("PUT /v1/control/tenants/{tenant}", h.controlTenant)
 	h.mux.HandleFunc("POST /v1/record", h.record)
@@ -83,6 +96,7 @@ func statusOf(err error) int {
 	case errors.Is(err, store.ErrBackend):
 		return http.StatusBadGateway
 	case errors.Is(err, store.ErrEmptyTenant), errors.Is(err, store.ErrEmptyKey),
+		errors.Is(err, store.ErrBadTTL),
 		errors.Is(err, store.ErrRecording), errors.Is(err, store.ErrNotRecording):
 		return http.StatusBadRequest
 	}
@@ -111,11 +125,77 @@ func hitHeader(w http.ResponseWriter, hit bool) {
 	}
 }
 
+// etagOf derives a value's entity tag from its bytes: a strong,
+// quoted, 16-hex-digit FNV-1a hash. Identical bytes always produce
+// the identical tag — across requests, processes, and nodes — which is
+// what lets cluster clients and the router revalidate with
+// If-None-Match instead of re-downloading values.
+func etagOf(value []byte) string {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range value {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	var buf [18]byte
+	buf[0] = '"'
+	const hexdigits = "0123456789abcdef"
+	for i := 0; i < 16; i++ {
+		buf[1+i] = hexdigits[h>>(60-4*uint(i))&0xF]
+	}
+	buf[17] = '"'
+	return string(buf[:])
+}
+
+// etagMatches reports whether an If-None-Match header value matches
+// etag: "*" matches any current entity, otherwise any listed tag must
+// equal it byte for byte (weak "W/" prefixes are ignored for the
+// comparison, as RFC 9110 prescribes for If-None-Match).
+func etagMatches(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// ttlOf parses the X-Talus-TTL request header: a non-negative integer
+// number of seconds. Absent (or 0) defers to the store's DefaultTTL.
+func ttlOf(r *http.Request) (time.Duration, error) {
+	v := r.Header.Get("X-Talus-TTL")
+	if v == "" {
+		return 0, nil
+	}
+	secs, err := strconv.ParseInt(v, 10, 32)
+	if err != nil || secs < 0 {
+		return 0, fmt.Errorf("%w: X-Talus-TTL %q (want non-negative integer seconds)", store.ErrBadTTL, v)
+	}
+	return time.Duration(secs) * time.Second, nil
+}
+
 func (h *Handler) get(w http.ResponseWriter, r *http.Request) {
-	value, hit, err := h.st.Get(r.PathValue("tenant"), r.PathValue("key"))
+	tenant, key := r.PathValue("tenant"), r.PathValue("key")
+	if h.proxied(w, r, tenant, key, nil) {
+		return
+	}
+	w.Header().Set("X-Talus-Node", h.nodeID)
+	value, hit, err := h.st.Get(tenant, key)
 	hitHeader(w, hit)
 	if err != nil {
 		writeErr(w, err)
+		return
+	}
+	etag := etagOf(value)
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		// The client's copy is current: 304 with the tag (and the cache
+		// outcome — the access happened) but no body, which is the whole
+		// point: a router revalidating hot values moves ~60 bytes of
+		// headers instead of the value.
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -128,12 +208,23 @@ func (h *Handler) put(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	hit, err := h.st.Set(r.PathValue("tenant"), r.PathValue("key"), body)
+	tenant, key := r.PathValue("tenant"), r.PathValue("key")
+	if h.proxied(w, r, tenant, key, body) {
+		return
+	}
+	w.Header().Set("X-Talus-Node", h.nodeID)
+	ttl, err := ttlOf(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	hit, err := h.st.SetTTL(tenant, key, body, ttl)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	hitHeader(w, hit)
+	w.Header().Set("ETag", etagOf(body))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -155,16 +246,99 @@ func readBody(w http.ResponseWriter, r *http.Request, maxValue int64) ([]byte, e
 }
 
 func (h *Handler) delete(w http.ResponseWriter, r *http.Request) {
-	existed, err := h.st.Delete(r.PathValue("tenant"), r.PathValue("key"))
+	tenant, key := r.PathValue("tenant"), r.PathValue("key")
+	if h.proxied(w, r, tenant, key, nil) {
+		return
+	}
+	w.Header().Set("X-Talus-Node", h.nodeID)
+	existed, err := h.st.Delete(tenant, key)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	if !existed {
-		writeErr(w, fmt.Errorf("%w: %q", store.ErrNotFound, r.PathValue("key")))
+		writeErr(w, fmt.Errorf("%w: %q", store.ErrNotFound, key))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// forwardedRequestHeaders are the cache-request headers a proxying node
+// relays to the owner; forwardedResponseHeaders come back the other
+// way. Kept to the protocol's own vocabulary — hop-by-hop headers and
+// client connection metadata stay on their own hop.
+var forwardedRequestHeaders = []string{"If-None-Match", "X-Talus-TTL", "Content-Type"}
+var forwardedResponseHeaders = []string{"X-Talus-Cache", "X-Talus-Node", "ETag", "Content-Type"}
+
+// proxied implements thin-proxy mode for one cache request. It returns
+// true when the response has been written — either relayed from the
+// owning peer or a 502 after the forward failed — and false when this
+// node should serve locally: no cluster is configured, the request
+// already took its one forwarding hop (ForwardedHeader), or the ring
+// says this node owns the key.
+func (h *Handler) proxied(w http.ResponseWriter, r *http.Request, tenant, key string, body []byte) bool {
+	if h.cluster == nil || r.Header.Get(cluster.ForwardedHeader) != "" {
+		return false
+	}
+	owner := h.cluster.Owner(tenant, key)
+	if owner == h.cluster.Self() {
+		return false
+	}
+	hdr := make(http.Header, len(forwardedRequestHeaders))
+	for _, k := range forwardedRequestHeaders {
+		if v := r.Header.Get(k); v != "" {
+			hdr.Set(k, v)
+		}
+	}
+	resp, err := h.cluster.Forward(r.Context(), r.Method, owner, r.URL.EscapedPath(), body, hdr)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{
+			"error": fmt.Sprintf("forward to owner %s failed: %v", owner, err)})
+		return true
+	}
+	for _, k := range forwardedResponseHeaders {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.Status)
+	w.Write(resp.Body)
+	return true
+}
+
+// clusterNode is one member in the /v1/cluster payload.
+type clusterNode struct {
+	Node  string  `json:"node"`
+	Share float64 `json:"share"` // analytic fraction of the ring's hash space
+	Self  bool    `json:"self,omitempty"`
+}
+
+// clusterResponse is the /v1/cluster payload. Single-node servers
+// report clustered=false with only their own identity, so monitoring
+// can scrape the endpoint without knowing the deployment shape.
+type clusterResponse struct {
+	Clustered bool            `json:"clustered"`
+	Self      string          `json:"self,omitempty"`
+	VNodes    int             `json:"vnodes,omitempty"`
+	Seed      uint64          `json:"seed,omitempty"`
+	Node      store.NodeStats `json:"node"`
+	Nodes     []clusterNode   `json:"nodes,omitempty"`
+}
+
+func (h *Handler) clusterState(w http.ResponseWriter, r *http.Request) {
+	resp := clusterResponse{Node: h.st.Node()}
+	if h.cluster != nil {
+		ring := h.cluster.Ring()
+		shares := ring.Shares()
+		resp.Clustered = true
+		resp.Self = h.cluster.Self()
+		resp.VNodes = ring.VNodes()
+		resp.Seed = ring.Seed()
+		for _, n := range ring.Nodes() {
+			resp.Nodes = append(resp.Nodes, clusterNode{Node: n, Share: shares[n], Self: n == resp.Self})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statsResponse is the /v1/stats payload.
@@ -178,6 +352,7 @@ type statsResponse struct {
 	Bytes         int64               `json:"bytes"`              // value bytes held across all tenants
 	MaxBytes      int64               `json:"maxBytes,omitempty"` // configured bound (absent when unbounded)
 	Backend       bool                `json:"backend"`            // a backing tier is configured
+	Node          store.NodeStats     `json:"node"`               // serving-instance identity
 }
 
 type cacheStats struct {
@@ -198,6 +373,7 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		Bytes:         h.st.Bytes(),
 		MaxBytes:      h.st.MaxBytes(),
 		Backend:       h.st.Backend() != nil,
+		Node:          h.st.Node(),
 	}
 	if cs, ok := h.st.CacheStats(); ok {
 		resp.Cache = &cacheStats{Accesses: cs.Accesses, Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate()}

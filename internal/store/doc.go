@@ -96,6 +96,19 @@
 // under concurrent traffic the recorded order is one valid
 // interleaving of the live one.
 //
+// # Per-entry TTL and node identity
+//
+// SetTTL gives one entry a lifetime (Config.DefaultTTL gives every
+// plain Set one); a later Set refreshes or clears it. Expiry is lazy —
+// no sweeper, no per-key timer: a Get past the deadline releases the
+// value's bytes, invalidates its simulated line (outside the tenant
+// lock, same ordering discipline as Delete), counts one expiration in
+// TenantStats, and proceeds as a real miss, including read-through
+// re-admission when a backend is configured. Node() reports the
+// serving instance's identity (Config.NodeID or "<hostname>-<pid>",
+// pid, start time, GOMAXPROCS) for /v1/stats and cluster attribution;
+// SetNow is the test seam for the TTL clock.
+//
 // All methods are safe for concurrent use when the underlying adaptive
 // cache is (build it over a sharded inner cache).
 package store

@@ -49,6 +49,8 @@ var (
 	// without them evicted lines would strand their value bytes and the
 	// bound could not be honored.
 	ErrNoEviction = errors.New("store: cache stack does not support eviction notification")
+	// ErrBadTTL rejects a negative per-entry TTL.
+	ErrBadTTL = errors.New("store: negative ttl")
 )
 
 // addrMask keeps the 48 address bits hashKey produces; bits 48+ carry
@@ -117,6 +119,24 @@ type Config struct {
 	// Weights when the named tenant registers. A zero Max means
 	// unbounded.
 	LineBounds map[string]LineBounds
+	// DefaultTTL is the expiry applied to Sets that do not carry their
+	// own TTL (see SetTTL); 0 means values never expire by time. Expiry
+	// is lazy: an expired value is released on the Get that discovers
+	// it, and its simulated line is invalidated like a Delete's.
+	DefaultTTL time.Duration
+	// NodeID names this store instance for cluster attribution
+	// (/v1/stats node block, X-Talus-Node). Empty derives
+	// "<hostname>-<pid>".
+	NodeID string
+}
+
+// NodeStats identifies this store instance: the node block cluster
+// clients and the load harness use to attribute traffic per node.
+type NodeStats struct {
+	ID         string    `json:"id"`
+	PID        int       `json:"pid"`
+	StartTime  time.Time `json:"start_time"`
+	GoMaxProcs int       `json:"gomaxprocs"`
 }
 
 // LineBounds is one tenant's allocation floor and cap in cache lines.
@@ -141,6 +161,10 @@ type TenantStats struct {
 	Bytes       int64   `json:"bytes"`
 	AllocLines  int64   `json:"alloc_lines"` // current partition allocation
 
+	// Expirations counts values released by per-entry TTL expiry
+	// (discovered lazily on Get; zero when no TTLs are in use).
+	Expirations int64 `json:"expirations"`
+
 	// Bounded-mode counters (zero when the store is unbounded).
 	Evictions   int64   `json:"evictions"`   // values released by line eviction
 	AdmitDrops  int64   `json:"admitDrops"`  // values refused by admission (gate or byte cap)
@@ -162,6 +186,7 @@ type tenant struct {
 	vals   map[string][]byte
 	bytes  int64
 	byAddr map[uint64][]string // bounded mode: 48-bit line addr → keys on that line
+	exp    map[string]int64    // per-entry expiry deadline (unix nanos); nil until a TTL lands
 
 	admit *hash.Sampler // bounded mode: Talus-managed admission gate
 
@@ -170,6 +195,7 @@ type tenant struct {
 
 	admitClock                                      atomic.Int64 // sets since the last admission-rate refresh
 	evictions, admitDrops, backendGets, backendSets atomic.Int64
+	expirations                                     atomic.Int64
 }
 
 // Store is the keyed serving layer. Construct with New (or the public
@@ -187,6 +213,10 @@ type Store struct {
 	maxBytes   int64   // global value-byte bound; 0 = none
 	backend    Backend // backing tier; nil = none
 	maxTenants int     // registration cap; 0 = partition count only
+	defaultTTL time.Duration
+
+	node NodeStats        // this instance's identity (cluster attribution)
+	now  func() time.Time // clock; replaceable for TTL tests (SetNow)
 
 	bytesTotal atomic.Int64 // value bytes across all tenants (all modes)
 
@@ -225,8 +255,21 @@ func New(ac *adaptive.Cache, cfg Config) (*Store, error) {
 		maxBytes:      cfg.MaxBytes,
 		backend:       cfg.Backend,
 		maxTenants:    cfg.MaxTenants,
+		defaultTTL:    cfg.DefaultTTL,
+		now:           time.Now,
 		tenants:       make(map[string]*tenant, ac.NumLogical()),
 		byPart:        make([]*tenant, ac.NumLogical()),
+	}
+	if cfg.DefaultTTL < 0 {
+		return nil, fmt.Errorf("%w: default ttl %s", ErrBadTTL, cfg.DefaultTTL)
+	}
+	s.node = NodeStats{ID: cfg.NodeID, PID: os.Getpid(), StartTime: time.Now(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	if s.node.ID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "node"
+		}
+		s.node.ID = fmt.Sprintf("%s-%d", host, s.node.PID)
 	}
 	if s.batchSize == 0 {
 		s.batchSize = DefaultBatchSize
@@ -295,6 +338,15 @@ func (s *Store) Bytes() int64 { return s.bytesTotal.Load() }
 // Backend returns the configured backing tier (nil when none).
 func (s *Store) Backend() Backend { return s.backend }
 
+// Node returns this instance's identity block: the id, start time, and
+// GOMAXPROCS that /v1/stats serves and cluster clients use to
+// attribute traffic per node.
+func (s *Store) Node() NodeStats { return s.node }
+
+// SetNow replaces the store's clock. A test hook for TTL expiry — call
+// it before serving traffic; it is not synchronized with the datapath.
+func (s *Store) SetNow(now func() time.Time) { s.now = now }
+
 // onEvict is the cache stack's eviction hook: line (part, addr) was
 // evicted, so every value stored on that line dies with it — the next
 // Get for those keys is a true miss (served through the Backend when
@@ -320,6 +372,9 @@ func (s *Store) onEvict(part int, addr uint64) {
 				t.bytes -= int64(len(v))
 				s.bytesTotal.Add(-int64(len(v)))
 				delete(t.vals, k)
+				if t.exp != nil {
+					delete(t.exp, k)
+				}
 				t.evictions.Add(1)
 			}
 		}
@@ -411,10 +466,13 @@ func (s *Store) resolve(name string, autoRegister bool) (*tenant, error) {
 // traffic) and returns the stored bytes, whether the simulated cache
 // line hit, and ErrNotFound when the key holds no value. A pure lookup
 // never registers a tenant: naming an unknown one fails with
-// ErrUnknownTenant (tenants are minted by Set). In bounded mode with a
-// Backend, a value miss (evicted or never admitted) reads through the
-// Backend and re-admits under the admission rules. The returned slice
-// is shared — callers must not modify it.
+// ErrUnknownTenant (tenants are minted by Set). A value whose TTL has
+// passed is expired lazily here: its bytes are released, its simulated
+// line invalidated (a dead key must not linger as phantom residency),
+// and the Get proceeds as a value miss. In bounded mode with a
+// Backend, a value miss (evicted, expired, or never admitted) reads
+// through the Backend and re-admits under the admission rules. The
+// returned slice is shared — callers must not modify it.
 func (s *Store) Get(tenantName, key string) (value []byte, hit bool, err error) {
 	if key == "" {
 		return nil, false, ErrEmptyKey
@@ -428,16 +486,32 @@ func (s *Store) Get(tenantName, key string) (value []byte, hit bool, err error) 
 	hit = s.access(t, addr)
 	t.mu.RLock()
 	value, ok := t.vals[key]
+	expired := false
+	if ok && t.exp != nil {
+		if d, has := t.exp[key]; has && d <= s.now().UnixNano() {
+			expired = true
+		}
+	}
 	t.mu.RUnlock()
+	if expired {
+		s.expireValue(t, key, addr)
+		// Re-read: a Set racing the expiry may have landed a fresh value
+		// (with a fresh deadline) that must be served, not swallowed.
+		t.mu.RLock()
+		value, ok = t.vals[key]
+		t.mu.RUnlock()
+	}
 	if ok {
 		return value, hit, nil
 	}
 	if s.backend == nil {
 		return nil, hit, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	// Read through: the value is gone locally (evicted, never admitted,
-	// or never written here) — fetch it from the backing tier and
-	// re-admit it, paying the modeled backend cost this miss represents.
+	// Read through: the value is gone locally (evicted, expired, never
+	// admitted, or never written here) — fetch it from the backing tier
+	// and re-admit it, paying the modeled backend cost this miss
+	// represents. The re-admitted copy starts a fresh DefaultTTL (the
+	// backend does not remember per-entry TTLs).
 	t.backendGets.Add(1)
 	v, berr := s.backend.Get(t.name, key)
 	if berr != nil {
@@ -446,8 +520,49 @@ func (s *Store) Get(tenantName, key string) (value []byte, hit bool, err error) 
 		}
 		return nil, hit, fmt.Errorf("%w: %v", ErrBackend, berr)
 	}
-	s.admitValue(t, key, addr, v)
+	s.admitValue(t, key, addr, v, s.deadlineFor(0))
 	return v, hit, nil
+}
+
+// deadlineFor converts a per-entry TTL into an absolute expiry
+// deadline in unix nanos: 0 selects the configured DefaultTTL, and a
+// zero result means "never expires".
+func (s *Store) deadlineFor(ttl time.Duration) int64 {
+	if ttl == 0 {
+		ttl = s.defaultTTL
+	}
+	if ttl <= 0 {
+		return 0
+	}
+	return s.now().Add(ttl).UnixNano()
+}
+
+// expireValue releases (t, key)'s value after its TTL passed: bytes
+// freed, deadline cleared, expiry counted, and the simulated line
+// invalidated (after t.mu is released — invalidation takes a shard
+// lock, and the eviction hook takes t.mu while holding one, so the
+// orders must never interleave). The deadline is re-checked under the
+// lock: a racing Set may have refreshed the entry, in which case
+// nothing is expired. Reports whether the value was released.
+func (s *Store) expireValue(t *tenant, key string, addr uint64) bool {
+	now := s.now().UnixNano()
+	t.mu.Lock()
+	d, has := t.exp[key]
+	if !has || d > now {
+		t.mu.Unlock()
+		return false
+	}
+	if old, ok := t.vals[key]; ok {
+		t.bytes -= int64(len(old))
+		s.bytesTotal.Add(-int64(len(old)))
+		delete(t.vals, key)
+		t.dropAddrKeyLocked(addr, key)
+	}
+	delete(t.exp, key)
+	t.expirations.Add(1)
+	t.mu.Unlock()
+	s.ac.Invalidate(addr|t.space, t.part)
+	return true
 }
 
 // Set stores value under (tenant, key), warming the key's cache line,
@@ -457,9 +572,23 @@ func (s *Store) Get(tenantName, key string) (value []byte, hit bool, err error) 
 // copy is then subject to admission: the Talus-managed gate and the
 // MaxBytes bound may decline to retain it (see admitValue), which is
 // not an error — with a Backend the value is durable either way.
+// The value expires after Config.DefaultTTL (never, when zero); use
+// SetTTL for a per-entry TTL.
 func (s *Store) Set(tenantName, key string, value []byte) (hit bool, err error) {
+	return s.SetTTL(tenantName, key, value, 0)
+}
+
+// SetTTL is Set with a per-entry TTL: the value expires ttl after this
+// write (lazily, on the Get that discovers it — see Get). ttl 0 defers
+// to Config.DefaultTTL; negative is rejected with ErrBadTTL. A fresh
+// Set always restarts the clock, and a Set without a TTL on a key that
+// had one clears it.
+func (s *Store) SetTTL(tenantName, key string, value []byte, ttl time.Duration) (hit bool, err error) {
 	if key == "" {
 		return false, ErrEmptyKey
+	}
+	if ttl < 0 {
+		return false, fmt.Errorf("%w: %s", ErrBadTTL, ttl)
 	}
 	if s.cfg.MaxValueBytes > 0 && int64(len(value)) > s.cfg.MaxValueBytes {
 		return false, fmt.Errorf("%w: %d bytes (limit %d)", ErrValueTooLarge, len(value), s.cfg.MaxValueBytes)
@@ -482,16 +611,17 @@ func (s *Store) Set(tenantName, key string, value []byte) (hit bool, err error) 
 	hit = s.access(t, addr)
 	cp := make([]byte, len(value))
 	copy(cp, value)
-	s.admitValue(t, key, addr, cp)
+	s.admitValue(t, key, addr, cp, s.deadlineFor(ttl))
 	return hit, nil
 }
 
-// admitValue retains cp as (t, key)'s cached copy, subject in bounded
-// mode to the admission gate and the global byte bound. On rejection
-// any stale cached copy is dropped (a newer backend value must never be
-// shadowed by an older cached one) and the drop is counted. Reports
-// whether the value was retained. Caller must not hold t.mu.
-func (s *Store) admitValue(t *tenant, key string, addr uint64, cp []byte) bool {
+// admitValue retains cp as (t, key)'s cached copy with the given
+// expiry deadline (unix nanos; 0 = never), subject in bounded mode to
+// the admission gate and the global byte bound. On rejection any stale
+// cached copy is dropped (a newer backend value must never be shadowed
+// by an older cached one) and the drop is counted. Reports whether the
+// value was retained. Caller must not hold t.mu.
+func (s *Store) admitValue(t *tenant, key string, addr uint64, cp []byte, deadline int64) bool {
 	// The rho gate: the same H3-sampler mechanism Talus uses to split
 	// shadow partitions here decides which lines are worth caching at
 	// all — bypass.Optimal picks the admitted fraction (refreshAdmit),
@@ -514,6 +644,7 @@ func (s *Store) admitValue(t *tenant, key string, addr uint64, cp []byte) bool {
 				s.bytesTotal.Add(-int64(len(old)))
 				delete(t.vals, key)
 				t.dropAddrKeyLocked(addr, key)
+				t.setDeadlineLocked(key, 0)
 			}
 			t.mu.Unlock()
 			t.admitDrops.Add(1)
@@ -527,8 +658,25 @@ func (s *Store) admitValue(t *tenant, key string, addr uint64, cp []byte) bool {
 	if s.bounded && !had {
 		t.byAddr[addr] = append(t.byAddr[addr], key)
 	}
+	t.setDeadlineLocked(key, deadline)
 	t.mu.Unlock()
 	return true
+}
+
+// setDeadlineLocked records key's expiry deadline (0 clears it — a
+// fresh Set without a TTL must not inherit a stale one). Caller holds
+// t.mu.
+func (t *tenant) setDeadlineLocked(key string, deadline int64) {
+	if deadline == 0 {
+		if t.exp != nil {
+			delete(t.exp, key)
+		}
+		return
+	}
+	if t.exp == nil {
+		t.exp = make(map[string]int64)
+	}
+	t.exp[key] = deadline
 }
 
 // dropValue removes (t, key)'s cached copy, if any, releasing its bytes.
@@ -540,6 +688,7 @@ func (s *Store) dropValue(t *tenant, key string, addr uint64) {
 		delete(t.vals, key)
 		t.dropAddrKeyLocked(addr, key)
 	}
+	t.setDeadlineLocked(key, 0)
 	t.mu.Unlock()
 }
 
@@ -642,6 +791,7 @@ func (s *Store) Delete(tenantName, key string) (existed bool, err error) {
 		delete(t.vals, key)
 		t.dropAddrKeyLocked(addr, key)
 	}
+	t.setDeadlineLocked(key, 0)
 	t.mu.Unlock()
 	return ok, nil
 }
@@ -674,6 +824,7 @@ func (s *Store) statsOf(t *tenant, allocs []int64) TenantStats {
 		CacheMisses: t.misses.Load(),
 		Keys:        keys,
 		Bytes:       bytes,
+		Expirations: t.expirations.Load(),
 		Evictions:   t.evictions.Load(),
 		AdmitDrops:  t.admitDrops.Load(),
 		AdmitRho:    1,

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"time"
 
+	"talus/internal/cluster"
 	"talus/internal/serve"
 	"talus/internal/sim"
 	"talus/internal/store"
@@ -50,6 +51,8 @@ type options struct {
 	maxBytes      int64
 	backend       store.Backend
 	maxTenants    int
+	defaultTTL    time.Duration
+	nodeID        string
 }
 
 // Option configures New and NewStore.
@@ -229,6 +232,20 @@ func WithMaxBytes(n int64) Option { return func(o *options) { o.maxBytes = n } }
 // latency, or bring any Backend implementation.
 func WithBackend(b Backend) Option { return func(o *options) { o.backend = b } }
 
+// WithDefaultTTL gives every value written without an explicit TTL a
+// store-wide lifetime (NewStore only): Gets past the deadline behave
+// as real misses and release the value's bytes. Per-entry TTLs
+// (Store.SetTTL, or the HTTP X-Talus-TTL header) override it in either
+// direction. 0 (the default) keeps values until evicted or deleted.
+func WithDefaultTTL(d time.Duration) Option { return func(o *options) { o.defaultTTL = d } }
+
+// WithNodeID names this serving instance (NewStore only): the ID
+// surfaces in /v1/stats' node block, in the X-Talus-Node response
+// header, and in load reports' per-node attribution. In a cluster it
+// should be the node's ring name (host:port). Empty derives
+// "<hostname>-<pid>".
+func WithNodeID(id string) Option { return func(o *options) { o.nodeID = id } }
+
 // WithMaxTenants caps how many tenants may ever register — pre-declared
 // plus auto-registered — so an open HTTP front-end cannot be made to
 // mint a tenant per request (NewStore only). Exceeding the cap returns
@@ -340,6 +357,7 @@ var (
 	ErrValueTooLarge  = store.ErrValueTooLarge
 	ErrBackend        = store.ErrBackend
 	ErrClosed         = store.ErrClosed
+	ErrBadTTL         = store.ErrBadTTL
 )
 
 // NewStore constructs the keyed store over a cache built from the same
@@ -373,6 +391,8 @@ func NewStore(opts ...Option) (*Store, error) {
 		MaxBytes:      o.maxBytes,
 		Backend:       o.backend,
 		MaxTenants:    o.maxTenants,
+		DefaultTTL:    o.defaultTTL,
+		NodeID:        o.nodeID,
 	})
 }
 
@@ -387,8 +407,41 @@ type ServeConfig = serve.Config
 
 // NewServeHandler returns the stdlib HTTP front-end over st — the same
 // handler cmd/talus-serve mounts (GET/PUT/DELETE /v1/cache/{tenant}/{key},
-// /v1/stats, /v1/curves, /v1/control, /v1/record) — for embedding in
-// an existing server.
+// /v1/stats, /v1/curves, /v1/cluster, /v1/control, /v1/record) — for
+// embedding in an existing server.
 func NewServeHandler(st *Store, cfg ServeConfig) http.Handler {
 	return serve.NewHandler(st, cfg)
 }
+
+// NodeStats identifies one serving instance: its node ID, process, start
+// time, and GOMAXPROCS. Reported by Store.Node, /v1/stats, /v1/cluster.
+type NodeStats = store.NodeStats
+
+// Cluster is the distributed serving tier's membership view: a
+// deterministic consistent-hash ring plus the node-to-node HTTP client.
+// Pass one to ServeConfig.Cluster to turn a handler into a thin proxy
+// that forwards requests it does not own. See NewCluster.
+type Cluster = cluster.Cluster
+
+// ClusterConfig parameterizes NewCluster: this node's own name, the
+// full membership list, virtual-node count, ring seed, and the
+// forwarding client's timeout/retry bounds. Every node (and any
+// ring-aware client) must share Nodes, VNodes, and Seed — ownership is
+// computed independently on each, with no coordination.
+type ClusterConfig = cluster.Config
+
+// NewCluster validates cfg and builds the cluster view.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewRing builds just the consistent-hash ring — for clients that want
+// to route requests to their owners directly instead of paying the
+// proxy hop. 0 vnodes selects ClusterDefaultVNodes.
+func NewRing(nodes []string, vnodes int, seed uint64) (*Ring, error) {
+	return cluster.NewRing(nodes, vnodes, seed)
+}
+
+// Ring is the immutable consistent-hash ring. See NewRing.
+type Ring = cluster.Ring
+
+// ClusterDefaultVNodes is the default virtual-node count per member.
+const ClusterDefaultVNodes = cluster.DefaultVNodes
