@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check fmt vet examples bench-smoke bench-serving bench-serving-mp bench-serving-matrix bench-compare profile-serving cluster-demo cluster-e2e
+.PHONY: all build test race check fmt vet examples validate bench-smoke bench-serving bench-serving-mp bench-serving-matrix bench-compare profile-serving cluster-demo cluster-e2e
 
 all: check test
 
@@ -29,6 +29,16 @@ vet:
 # comments are asserted), keeping the documented snippets honest.
 examples:
 	$(GO) test -run '^Example' ./...
+
+# validate runs the ground-truth gate: the exact-LRU oracle cross-checks
+# (monitor vs oracle, analytic vs stack sim, hull/Talus identities,
+# golden curves) in -short mode, the external-trace importer round-trip
+# on the committed ChampSim fixture, and regenerates ORACLE_errors.md —
+# the monitor-vs-oracle error table CI uploads as an artifact.
+validate:
+	$(GO) test -short -run 'TestMonitorMatchesOracle|TestAnalyticMatchesStackSim|TestHullIsLowerConvexEnvelope|TestTalusRecombinesToOracle|TestGoldenOracleCurves' -v ./internal/oracle
+	$(GO) test -run 'TestImportChampSim|TestParseText' ./internal/trace
+	$(GO) run ./cmd/talus-oracle -accesses 393216 -o ORACLE_errors.md
 
 # bench-smoke is the CI benchmark pass: every benchmark once, reduced scale.
 bench-smoke:

@@ -23,7 +23,11 @@
 //
 // Patterns: "zipf" (exponent -zipf-s), "rand" (uniform), "scan"
 // (sequential sweep), "phased" (alternating zipf/scan stages — the
-// cliff-maker the paper's figures are built on).
+// cliff-maker the paper's figures are built on), "strided" (fixed-step
+// sweep), "pointerchase" (pseudo-random dependent ring), "diurnal"
+// (zipf whose hot set rotates through the population), and
+// "cliffseeker" (scan/zipf blend whose miss-curve cliff sits inside the
+// key population — the adversarial case Talus is built to flatten).
 //
 // Exit status is non-zero when the run errored or every request failed,
 // so CI smoke lanes can gate on it.
@@ -50,7 +54,7 @@ func main() {
 		tenant      = flag.String("tenant", "bench", "cache tenant to drive")
 		keys        = flag.Int64("keys", 10000, "distinct-key population")
 		valueBytes  = flag.Int("value-bytes", 256, "PUT body size")
-		pattern     = flag.String("pattern", "zipf", "key popularity: zipf, rand, scan, phased")
+		pattern     = flag.String("pattern", "zipf", "key popularity: zipf, rand, scan, phased, strided, pointerchase, diurnal, cliffseeker")
 		zipfS       = flag.Float64("zipf-s", 0.9, "zipf exponent for -pattern zipf/phased")
 		rps         = flag.Float64("rps", 0, "aggregate target RPS (0 = flat-out)")
 		workers     = flag.Int("workers", loadgen.DefaultWorkers, "closed-loop worker count")
@@ -143,6 +147,19 @@ func buildPattern(name string, keys int64, zipfS float64) (workload.Pattern, err
 			workload.Stage{Pattern: workload.NewZipf(keys, zipfS), Length: 4 * keys},
 			workload.Stage{Pattern: &workload.Scan{Lines: keys}, Length: 2 * keys},
 		)
+	case "strided":
+		// Stride 7 is usually coprime with the population, so the sweep
+		// still covers every key, just out of order.
+		return &workload.Strided{Lines: keys, Stride: 7}, nil
+	case "pointerchase":
+		return workload.NewPointerChase(keys, 0x10AD), nil
+	case "diurnal":
+		// The hot set shifts by 1/16 of the population every 8 laps.
+		return workload.NewDiurnal(keys, zipfS, 8*keys, keys/16)
+	case "cliffseeker":
+		// Place the miss-curve knee inside the population: a cache that
+		// holds 2/3 of the keys sits right on the cliff.
+		return workload.NewCliffSeeker(keys * 2 / 3)
 	}
-	return nil, fmt.Errorf("unknown -pattern %q (valid: zipf, rand, scan, phased)", name)
+	return nil, fmt.Errorf("unknown -pattern %q (valid: zipf, rand, scan, phased, strided, pointerchase, diurnal, cliffseeker)", name)
 }

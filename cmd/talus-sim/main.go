@@ -164,10 +164,12 @@ func main() {
 	base, res := results[0], results[1]
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "app\tIPC\tMPKI\tspeedup-vs-LRU")
+	fmt.Fprintln(tw, "app\tIPC\tMPKI\thit-ratio\tlru-hit-ratio\tspeedup-vs-LRU")
 	for i := range apps {
-		fmt.Fprintf(tw, "%s\t%.4f\t%.3f\t%.3f\n",
-			res.Apps[i], res.IPC[i], res.MPKI[i], res.IPC[i]/base.IPC[i])
+		fmt.Fprintf(tw, "%s\t%.4f\t%.3f\t%.4f\t%.4f\t%.3f\n",
+			res.Apps[i], res.IPC[i], res.MPKI[i],
+			hitRatio(res.MPKI[i], apps[i].APKI), hitRatio(base.MPKI[i], apps[i].APKI),
+			res.IPC[i]/base.IPC[i])
 	}
 	tw.Flush()
 	fmt.Printf("\nweighted speedup: %.4f\nharmonic speedup: %.4f\nepochs: %d\n",
@@ -226,6 +228,23 @@ func printAdaptive(res *sim.AdaptiveResult) {
 	}
 	tw.Flush()
 	fmt.Printf("\nepochs: %d (reconfigurations driven by the access stream)\n", res.Epochs)
+}
+
+// hitRatio converts an app's MPKI to its LLC hit ratio: accesses per
+// kilo-instruction is the spec's APKI, so 1 − MPKI/APKI, clamped to
+// [0, 1] against measurement noise at the extremes.
+func hitRatio(mpki, apki float64) float64 {
+	if apki <= 0 {
+		return 0
+	}
+	h := 1 - mpki/apki
+	if h < 0 {
+		return 0
+	}
+	if h > 1 {
+		return 1
+	}
+	return h
 }
 
 func fatal(err error) {

@@ -15,7 +15,10 @@
 // replay drives the online adaptive runtime (monitor → hull → Talus →
 // allocator) from the trace and reports per-partition steady-state miss
 // rates and allocations. stat prints the trace's header and
-// per-partition shape without simulating anything.
+// per-partition shape without simulating anything. import converts
+// external traces — raw ChampSim instruction traces (decompressed) or
+// plain text `addr[,partition]` lines — into the native format, ready
+// for replay or any trace:<path> workload.
 package main
 
 import (
@@ -45,6 +48,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "stat":
 		err = cmdStat(os.Args[2:])
+	case "import":
+		err = cmdImport(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -64,6 +69,7 @@ func usage() {
   talus-trace record -apps <a,b,...> -o <file> [-n accesses] [-batch len] [-seed s] [-gzip=bool]
   talus-trace replay -trace <file> [-mb size] [-alloc name] [-epoch n] [-shards n] [-batch len] [-tail frac] [-seed s]
   talus-trace stat   -trace <file>
+  talus-trace import -format champsim|text -i <file> -o <file> [-gzip=bool]
 `)
 }
 
@@ -146,6 +152,78 @@ func cmdReplay(args []string) error {
 	}
 	tw.Flush()
 	fmt.Printf("\nepochs: %d (reconfigurations driven by the replayed stream)\n", res.Epochs)
+	return nil
+}
+
+func cmdImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	var (
+		format = fs.String("format", "", "input format: champsim (raw 64-byte instruction records) or text (addr[,partition] lines)")
+		in     = fs.String("i", "", "input file (- for stdin)")
+		out    = fs.String("o", "", "output trace file")
+		gz     = fs.Bool("gzip", true, "gzip-compress the trace body")
+	)
+	fs.Parse(args)
+	if *format == "" || *in == "" || *out == "" {
+		return fmt.Errorf("import needs -format, -i, and -o")
+	}
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	var opts []trace.WriterOption
+	if *gz {
+		opts = append(opts, trace.WithGzip())
+	}
+	var records int64
+	var parts int
+	switch *format {
+	case "champsim":
+		parts = 1
+		w, err := trace.NewWriter(dst, 1, opts...)
+		if err == nil {
+			records, err = trace.ImportChampSim(src, w)
+		}
+		if err == nil {
+			err = w.Close()
+		}
+		if err != nil {
+			dst.Close()
+			return err
+		}
+	case "text":
+		recs, np, err := trace.ParseText(src)
+		if err == nil {
+			parts = np
+			records = int64(len(recs))
+			err = trace.WriteRecords(dst, np, recs, opts...)
+		}
+		if err != nil {
+			dst.Close()
+			return err
+		}
+	default:
+		dst.Close()
+		return fmt.Errorf("import: unknown format %q (want champsim or text)", *format)
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported %d records (%d partitions) from %s %s to %s: %d bytes\n",
+		records, parts, *format, *in, *out, info.Size())
 	return nil
 }
 

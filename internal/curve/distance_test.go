@@ -55,3 +55,58 @@ func TestDistance(t *testing.T) {
 		t.Fatalf("Distance(a, nudged) = %g, want small positive", d)
 	}
 }
+
+func TestDistanceEdgeCases(t *testing.T) {
+	// Single-point curves: the union grid degenerates to one size, so
+	// the comparison falls back to relative height.
+	p5 := MustNew([]Point{{Size: 100, MPKI: 5}})
+	p10 := MustNew([]Point{{Size: 100, MPKI: 10}})
+	p0 := MustNew([]Point{{Size: 100, MPKI: 0}})
+	if d := Distance(p5, p5); d != 0 {
+		t.Fatalf("Distance(point, itself) = %g", d)
+	}
+	if d := Distance(p5, p10); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("Distance(5, 10) = %g, want 0.5", d)
+	}
+	if d := Distance(p0, p0); d != 0 {
+		t.Fatalf("Distance(zero point, zero point) = %g", d)
+	}
+	// One-point vs zero-height one-point: no overlap at all.
+	if d := Distance(p5, p0); d != 1 {
+		t.Fatalf("Distance(5, 0) = %g, want 1", d)
+	}
+	// Two single-point curves at different sizes still compare via flat
+	// extrapolation over the two-point union grid.
+	q := MustNew([]Point{{Size: 900, MPKI: 5}})
+	if d := Distance(p5, q); d != 0 {
+		t.Fatalf("Distance(flat 5 @100, flat 5 @900) = %g, want 0 (same extrapolated function)", d)
+	}
+	// A single point against a flat segment of the same height: the
+	// functions agree everywhere by extrapolation.
+	flat := MustNew([]Point{{Size: 0, MPKI: 5}, {Size: 1000, MPKI: 5}})
+	if d := Distance(p5, flat); d > 1e-12 {
+		t.Fatalf("Distance(point 5, flat 5) = %g, want 0", d)
+	}
+	// Mismatched point counts and disjoint grids: well-defined, bounded,
+	// symmetric.
+	many := MustNew([]Point{
+		{Size: 1, MPKI: 9}, {Size: 7, MPKI: 8}, {Size: 13, MPKI: 6},
+		{Size: 400, MPKI: 4}, {Size: 2000, MPKI: 1},
+	})
+	few := MustNew([]Point{{Size: 5, MPKI: 9}, {Size: 1500, MPKI: 1}})
+	d1, d2 := Distance(many, few), Distance(few, many)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("mismatched-grid asymmetry: %g vs %g", d1, d2)
+	}
+	if d1 < 0 || d1 > 1 {
+		t.Fatalf("mismatched-grid distance %g out of [0,1]", d1)
+	}
+	// The zero-value Curve behaves as empty.
+	var zeroVal Curve
+	if d := Distance(&zeroVal, &zeroVal); d != 0 {
+		t.Fatalf("Distance(zero-value, zero-value) = %g", d)
+	}
+	if d := Distance(&zeroVal, p5); d != 1 {
+		t.Fatalf("Distance(zero-value, point) = %g, want 1", d)
+	}
+}

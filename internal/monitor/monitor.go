@@ -324,6 +324,15 @@ func bankSetValue(addr, setSeed uint64) uint64 {
 	return hash.Mix64(addr ^ setSeed)
 }
 
+// Rates returns the bank's three sampling rates (sub, fine, coarse) for
+// an LLC of llcLines, without building a monitor — the validation
+// oracle's error table (internal/oracle) reports monitor accuracy per
+// sampling rate.
+func Rates(llcLines int64) [3]float64 {
+	specs := bankSpecs(llcLines)
+	return [3]float64{specs[0].rate, specs[1].rate, specs[2].rate}
+}
+
 // NewLRUMonitor builds the monitor bank for an LLC of llcLines.
 func NewLRUMonitor(llcLines int64, seed uint64) (*LRUMonitor, error) {
 	if llcLines <= 0 {

@@ -1,0 +1,139 @@
+// Closed-form steady-state LRU miss-ratio functions for the regular
+// access patterns, derived independently of the stack simulator so the
+// two can check each other:
+//
+//   - ring patterns (Scan, Strided, PointerChase): every reuse is at
+//     distance footprint−1, so the miss ratio steps from 1 to 0 exactly
+//     at the footprint;
+//   - uniform IRM (Rand): a cache of s lines holds s of W equally
+//     popular lines, so the steady-state miss ratio is 1 − s/W;
+//   - zipf IRM (Zipf): Che's characteristic-time approximation over the
+//     sampler's own effective rank pmf (Zipf.RankPMF), the standard
+//     harmonic-sum treatment of LRU under independent zipf draws.
+
+package oracle
+
+import (
+	"math"
+
+	"talus/internal/curve"
+	"talus/internal/workload"
+)
+
+// Analytic returns the closed-form steady-state LRU miss-ratio function
+// for p (ratio of misses to accesses as a function of cache size in
+// lines), with ok = false when no closed form is known (Mix, Phased,
+// Diurnal, CliffSeeker — the stack simulator is the only oracle there).
+func Analytic(p workload.Pattern) (ratio func(size float64) float64, ok bool) {
+	switch v := p.(type) {
+	case *workload.Scan:
+		return stepRatio(v.Footprint()), true
+	case *workload.Strided:
+		return stepRatio(v.Footprint()), true
+	case *workload.PointerChase:
+		return stepRatio(v.Footprint()), true
+	case *workload.Rand:
+		w := float64(v.Lines)
+		return func(size float64) float64 {
+			if size >= w {
+				return 0
+			}
+			if size <= 0 {
+				return 1
+			}
+			return 1 - size/w
+		}, true
+	case *workload.Zipf:
+		return cheRatio(v), true
+	}
+	return nil, false
+}
+
+// stepRatio is the ring-pattern closed form: with a cyclic reference
+// stream of footprint F, every reuse distance is exactly F−1, so a
+// cache of F lines hits every reuse and any smaller cache hits none.
+func stepRatio(footprint int64) func(float64) float64 {
+	f := float64(footprint)
+	return func(size float64) float64 {
+		if size >= f {
+			return 0
+		}
+		return 1
+	}
+}
+
+// cheRatio is Che's approximation for LRU under IRM: a cache of size C
+// behaves as if each object stays resident for a characteristic time T
+// solving Σ_i (1 − e^{−p_i·T}) = C, giving hit ratio
+// Σ_i p_i·(1 − e^{−p_i·T}). Sums run over the sampler's effective rank
+// buckets (uniform within a bucket), so the formula models the stream
+// Next actually emits, bucketing approximation included.
+func cheRatio(z *workload.Zipf) func(float64) float64 {
+	ends, probs := z.RankPMF()
+	// Per-bucket (count, per-item probability).
+	counts := make([]float64, len(ends))
+	perItem := make([]float64, len(ends))
+	prev := int64(0)
+	for i, e := range ends {
+		counts[i] = float64(e - prev)
+		perItem[i] = probs[i] / counts[i]
+		prev = e
+	}
+	total := float64(z.Lines)
+
+	occupancy := func(t float64) float64 {
+		var occ float64
+		for i := range counts {
+			occ += counts[i] * -math.Expm1(-perItem[i]*t)
+		}
+		return occ
+	}
+	return func(size float64) float64 {
+		if size <= 0 {
+			return 1
+		}
+		if size >= total {
+			return 0
+		}
+		// Solve occupancy(T) = size by bisection; occupancy is strictly
+		// increasing in T from 0 toward total.
+		lo, hi := 0.0, 1.0
+		for occupancy(hi) < size {
+			hi *= 2
+			if hi > 1e18 {
+				break
+			}
+		}
+		for i := 0; i < 100; i++ {
+			mid := (lo + hi) / 2
+			if occupancy(mid) < size {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		t := (lo + hi) / 2
+		var hit float64
+		for i := range counts {
+			hit += counts[i] * perItem[i] * -math.Expm1(-perItem[i]*t)
+		}
+		return 1 - hit
+	}
+}
+
+// CurveOf samples a miss-ratio function onto the given size grid
+// (strictly increasing, positive) as a miss curve in misses per
+// kilo-access (MPKA = 1000·ratio), prepending the all-miss point at
+// size 0 — the same shape and units StackSim.Curve produces with
+// kiloUnits = n/1000.
+func CurveOf(ratio func(float64) float64, sizes []int64) (*curve.Curve, error) {
+	pts := make([]curve.Point, 0, len(sizes)+1)
+	pts = append(pts, curve.Point{Size: 0, MPKI: 1000 * ratio(0)})
+	for _, s := range sizes {
+		if s <= 0 {
+			continue
+		}
+		pts = append(pts, curve.Point{Size: float64(s), MPKI: 1000 * ratio(float64(s))})
+	}
+	return curve.New(pts)
+}

@@ -1,0 +1,88 @@
+package oracle
+
+import (
+	"testing"
+
+	"talus/internal/curve"
+	"talus/internal/workload"
+)
+
+// TestAnalyticMatchesStackSim is the oracle's self-check: the
+// closed-form curves and the exact stack simulator are independent
+// derivations of the same ground truth, so before either validates the
+// monitor they must agree with each other. The stack sim's cold
+// (first-touch) misses are excluded via SteadyCurve so both sides model
+// the same steady state. Deterministic rings must agree almost exactly
+// (Distance ≤ 1%); the IRM formulas are approximations — Che's zipf
+// treatment carries a known ~1% absolute error — so they are bounded on
+// the worst absolute miss-ratio gap instead, where the normalized
+// Distance would amplify tiny gaps in near-zero tail regions.
+func TestAnalyticMatchesStackSim(t *testing.T) {
+	const n = 1 << 20
+	cases := []struct {
+		name     string
+		pattern  workload.Pattern
+		distTol  float64 // curve.Distance bound; 0 = skip
+		ratioTol float64 // max |Δ miss ratio| bound
+	}{
+		{"scan", &workload.Scan{Lines: 3000}, 0.01, 0.01},
+		{"strided", &workload.Strided{Lines: 8192, Stride: 4}, 0.01, 0.01},
+		{"strided-coprime", &workload.Strided{Lines: 5000, Stride: 3}, 0.01, 0.01},
+		{"pointerchase", workload.NewPointerChase(2048, 7), 0.01, 0.01},
+		{"rand", &workload.Rand{Lines: 4096}, 0.03, 0.01},
+		{"zipf", workload.NewZipf(1<<14, 0.9), 0, 0.02},
+		{"zipf-steep", workload.NewZipf(1<<14, 1.2), 0, 0.02},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ratio, ok := Analytic(c.pattern)
+			if !ok {
+				t.Fatalf("no closed form for %T", c.pattern)
+			}
+			sim := FromPattern(c.pattern, n, 0xA11A)
+			grid := Grid(c.pattern.Footprint()*3/2, 96)
+			simCurve, err := sim.SteadyCurve(grid, n/1000.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			anaCurve, err := CurveOf(ratio, grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := curve.Distance(simCurve, anaCurve)
+			worst := 0.0
+			for _, s := range grid {
+				if gap := abs(simCurve.Eval(float64(s))-anaCurve.Eval(float64(s))) / 1000; gap > worst {
+					worst = gap
+				}
+			}
+			t.Logf("%s: distance %.4f, max ratio gap %.4f", c.name, d, worst)
+			if c.distTol > 0 && d > c.distTol {
+				t.Fatalf("stack sim and closed form disagree: distance %.4f > %.3f\nsim: %v\nana: %v",
+					d, c.distTol, simCurve, anaCurve)
+			}
+			if worst > c.ratioTol {
+				t.Fatalf("stack sim and closed form disagree: max ratio gap %.4f > %.3f\nsim: %v\nana: %v",
+					worst, c.ratioTol, simCurve, anaCurve)
+			}
+		})
+	}
+}
+
+// TestAnalyticUnknownPatterns pins which patterns have no closed form.
+func TestAnalyticUnknownPatterns(t *testing.T) {
+	d, err := workload.NewDiurnal(1024, 0.9, 100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := workload.NewCliffSeeker(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workload.MustMix(workload.Component{Pattern: &workload.Rand{Lines: 64}, Weight: 1})
+	for _, p := range []workload.Pattern{d, cs, mix} {
+		if _, ok := Analytic(p); ok {
+			t.Fatalf("%T claims a closed form", p)
+		}
+	}
+}

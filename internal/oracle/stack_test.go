@@ -1,0 +1,130 @@
+package oracle
+
+import (
+	"testing"
+
+	"talus/internal/hash"
+	"talus/internal/workload"
+)
+
+func TestStackSimHandComputed(t *testing.T) {
+	s := NewStackSim()
+	// Stream: A B A C B A. Reuse distances: A→1 (B), B→2 (A,C), A→2 (C,B).
+	for _, a := range []uint64{1, 2, 1, 3, 2, 1} {
+		s.Access(a)
+	}
+	if s.Accesses() != 6 || s.Distinct() != 3 {
+		t.Fatalf("accesses %d distinct %d, want 6 and 3", s.Accesses(), s.Distinct())
+	}
+	want := map[int64]int64{
+		1: 6, // size 1: nothing hits (no distance-0 reuses)
+		2: 5, // size 2: the distance-1 reuse hits
+		3: 3, // size 3: all three reuses hit
+		4: 3,
+	}
+	for size, misses := range want {
+		if got := s.Misses(size); got != misses {
+			t.Fatalf("Misses(%d) = %d, want %d", size, got, misses)
+		}
+	}
+	if s.MaxDistance() != 3 {
+		t.Fatalf("MaxDistance %d, want 3", s.MaxDistance())
+	}
+}
+
+// naiveLRU counts misses of a size-limited true-LRU cache over a stream.
+func naiveLRU(stream []uint64, size int) int64 {
+	type node struct{ prev, next int }
+	var order []uint64
+	var misses int64
+	for _, a := range stream {
+		hit := -1
+		for i, x := range order {
+			if x == a {
+				hit = i
+				break
+			}
+		}
+		if hit >= 0 {
+			order = append(order[:hit], order[hit+1:]...)
+		} else {
+			misses++
+			if len(order) == size {
+				order = order[:len(order)-1]
+			}
+		}
+		order = append([]uint64{a}, order...)
+	}
+	return misses
+}
+
+func TestStackSimMatchesNaiveLRU(t *testing.T) {
+	// Random streams over a small space: the stack simulator's per-size
+	// miss counts must equal a direct LRU simulation at every size.
+	rng := hash.NewSplitMix64(99)
+	for trial := 0; trial < 4; trial++ {
+		n := 2000 + int(rng.Uint64n(2000))
+		space := 20 + int(rng.Uint64n(60))
+		stream := make([]uint64, n)
+		for i := range stream {
+			stream[i] = rng.Uint64n(uint64(space))
+		}
+		s := NewStackSim()
+		for _, a := range stream {
+			s.Access(a)
+		}
+		for _, size := range []int{1, 2, 3, 5, 8, 13, 21, 34, 55, 89} {
+			want := naiveLRU(stream, size)
+			if got := s.Misses(int64(size)); got != want {
+				t.Fatalf("trial %d (space %d): Misses(%d) = %d, naive LRU says %d",
+					trial, space, size, got, want)
+			}
+		}
+	}
+}
+
+func TestStackSimCompaction(t *testing.T) {
+	// A long scan over a small footprint dominates slots with dead
+	// entries, forcing many compactions; the curve must stay exact.
+	const foot = 100
+	const laps = 500
+	s := NewStackSim()
+	for i := 0; i < foot*laps; i++ {
+		s.Access(uint64(i % foot))
+	}
+	if s.Distinct() != foot {
+		t.Fatalf("distinct %d, want %d", s.Distinct(), foot)
+	}
+	// Every reuse is at distance foot−1.
+	if got := s.Misses(foot - 1); got != foot*laps {
+		t.Fatalf("Misses(%d) = %d, want all %d", foot-1, got, foot*laps)
+	}
+	if got := s.Misses(foot); got != foot {
+		t.Fatalf("Misses(%d) = %d, want %d cold only", foot, got, foot)
+	}
+}
+
+func TestStackSimCurveUnits(t *testing.T) {
+	s := FromPattern(&workload.Scan{Lines: 64}, 6400, 1)
+	c, err := s.Curve([]int64{32, 63, 64, 128}, 6400.0/1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the footprint: all 6400 accesses miss → 1000 per kilo-access.
+	if got := c.Eval(32); got != 1000 {
+		t.Fatalf("Eval(32) = %g, want 1000", got)
+	}
+	// At the footprint: only the 64 cold misses → 10 per kilo-access.
+	if got := c.Eval(64); got != 10 {
+		t.Fatalf("Eval(64) = %g, want 10", got)
+	}
+	if !c.IsNonIncreasing() {
+		t.Fatal("stack-distance curve must be non-increasing")
+	}
+	if _, err := s.Curve(nil, 0); err == nil {
+		t.Fatal("kiloUnits 0 accepted")
+	}
+	if _, err := NewStackSim().Curve([]int64{1}, 1); err == nil {
+		t.Fatal("empty simulator produced a curve")
+	}
+}

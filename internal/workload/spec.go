@@ -101,9 +101,17 @@ func Names() []string {
 	return out
 }
 
-// Lookup returns the Spec for name, with ok reporting success.
+// Lookup returns the Spec for name, with ok reporting success. Both the
+// SPEC clone registry and the synthetic-generator registry
+// (generators.go) are consulted; Names/Registry deliberately stay
+// clone-only so suite enumerations remain the paper's 29 apps.
 func Lookup(name string) (Spec, bool) {
 	for _, s := range registryList {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	for _, s := range generatorList {
 		if s.Name == name {
 			return s, true
 		}

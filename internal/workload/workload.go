@@ -196,6 +196,25 @@ func (z *Zipf) Footprint() int64 { return z.Lines }
 // Clone implements Pattern.
 func (z *Zipf) Clone() Pattern { return NewZipf(z.Lines, z.S) }
 
+// RankPMF returns the sampler's effective rank distribution: bucket end
+// ranks (inclusive) and each bucket's total probability. Ranks within a
+// bucket are drawn uniformly, so rank k in bucket i (ends[i-1] < k ≤
+// ends[i]) has probability probs[i]/(ends[i]−ends[i-1]). Exact ranks
+// below zipfExact are single-rank buckets. This is the distribution
+// Next actually draws from — analytic models (internal/oracle) and
+// goodness-of-fit tests should compare against it, not against an
+// independently rebuilt pmf that could drift from the sampler.
+func (z *Zipf) RankPMF() (ends []int64, probs []float64) {
+	ends = append([]int64(nil), z.ends...)
+	probs = make([]float64, len(z.cdf))
+	prev := 0.0
+	for i, c := range z.cdf {
+		probs[i] = c - prev
+		prev = c
+	}
+	return ends, probs
+}
+
 // Component weights one pattern within a Mix.
 type Component struct {
 	Pattern Pattern
